@@ -1,0 +1,23 @@
+"""Benchmark-suite plumbing.
+
+Puts this directory on sys.path (so benches share ``helpers``) and
+prints every reproduced paper table in the terminal summary, where
+pytest's capture cannot swallow it.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+
+def pytest_terminal_summary(terminalreporter):
+    from helpers import REPRODUCTION_OUTPUT
+
+    if not REPRODUCTION_OUTPUT:
+        return
+    terminalreporter.write_line("")
+    terminalreporter.write_sep(
+        "=", "reproduced paper tables and figures")
+    for line in REPRODUCTION_OUTPUT:
+        terminalreporter.write_line(line)

@@ -1,0 +1,50 @@
+"""Shared plumbing for the table/figure benchmarks.
+
+Every benchmark prints the paper's rows next to the values measured
+from the simulated system (bypassing pytest capture so the reproduction
+lands in ``bench_output.txt``), and wraps a representative kernel in
+pytest-benchmark for timing.
+"""
+
+from __future__ import annotations
+
+__all__ = ["emit", "emit_table", "run_transaction", "REPRODUCTION_OUTPUT"]
+
+# Accumulated reproduction tables; benchmarks/conftest.py prints these
+# in the terminal summary so they survive pytest's output capture and
+# land in bench_output.txt.
+REPRODUCTION_OUTPUT: list[str] = []
+
+
+def emit(*lines: str) -> None:
+    """Queue reproduction output for the end-of-run summary."""
+    REPRODUCTION_OUTPUT.extend(lines)
+
+
+def emit_table(title: str, headers: list[str], rows: list[list],
+               widths: list[int] | None = None) -> None:
+    """Print an aligned table."""
+    if widths is None:
+        widths = [
+            max(len(str(headers[i])),
+                *(len(str(row[i])) for row in rows)) if rows
+            else len(str(headers[i]))
+            for i in range(len(headers))
+        ]
+    emit("")
+    emit(title)
+    emit("-" * len(title))
+    header_line = "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    emit(header_line)
+    emit("  ".join("-" * w for w in widths))
+    for row in rows:
+        emit("  ".join(str(cell).ljust(w) for cell, w in zip(row, widths)))
+    emit("")
+
+
+def run_transaction(system, engine, handle, flow, horizon: float = 600.0):
+    """Run one flow to completion and return its TransactionRecord."""
+    done = engine.run_flow(handle, flow)
+    system.run(until=system.sim.now + horizon)
+    assert done.triggered, "transaction did not finish within the horizon"
+    return done.value

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+Kept so `pip install -e .` works in offline/minimal environments that
+lack the `wheel` package (pip falls back to the legacy editable install
+when no [build-system] table is declared); all metadata lives in
+pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,19 @@
+"""repro: a full reproduction of "A System Model for Mobile Commerce"
+(Lee, Hu, Yeh — ICDCSW'03) as a working, simulated software stack.
+
+Subpackages map to the paper's six components:
+
+* :mod:`repro.apps` — (i) mobile commerce applications (Table 1)
+* :mod:`repro.devices` — (ii) mobile stations (Table 2)
+* :mod:`repro.middleware` — (iii) mobile middleware: WAP & i-mode (Table 3)
+* :mod:`repro.wireless` — (iv) wireless networks: WLAN & cellular (Tables 4, 5)
+* :mod:`repro.net` — (v) wired networks (+ Mobile IP and mobile TCP, §5.2)
+* :mod:`repro.web` / :mod:`repro.db` — (vi) host computers (§7)
+
+plus :mod:`repro.core` (the six-component system model itself — Figures
+1 and 2, builders, transaction engine, §1.1 requirements checker),
+:mod:`repro.security` (§8 security & payment) and :mod:`repro.sim` (the
+discrete-event substrate everything runs on).
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,146 @@
+"""Command-line entry point: ``python -m repro <command>``.
+
+Commands:
+
+* ``quickstart`` — build Figure 2's MC system and run one purchase;
+* ``validate`` — build both figures' systems and print their
+  validation reports and structure diagrams;
+* ``tables`` — print the paper's five tables as reproduced from the
+  model registries (specs only — run ``pytest benchmarks/`` for the
+  measured versions);
+* ``info`` — version and component inventory.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_quickstart(args) -> int:
+    from repro.apps import CommerceApp
+    from repro.core import MCSystemBuilder, TransactionEngine
+
+    system = MCSystemBuilder(
+        middleware=args.middleware,
+        bearer=(args.bearer_kind, args.bearer),
+    ).build()
+    shop = CommerceApp()
+    system.mount_application(shop)
+    system.host.payment.open_account("ann", 100_000)
+    handle = system.add_station(args.device)
+    engine = TransactionEngine(system)
+    done = engine.run_flow(
+        handle, shop.browse_and_buy(account="ann", user="ann"))
+    system.run(until=600)
+    record = done.value
+    print(f"{args.device} over {args.middleware}/{args.bearer}:")
+    for step in record.steps:
+        print(f"  - {step}")
+    print(f"  {'OK' if record.ok else record.error} "
+          f"in {record.latency:.3f}s "
+          f"({record.bytes_received} bytes)")
+    return 0 if record.ok else 1
+
+
+def _cmd_validate(args) -> int:
+    from repro.core import ECSystemBuilder, MCSystemBuilder, render_structure
+
+    from repro.apps import CommerceApp
+
+    mc = MCSystemBuilder().build()
+    mc.mount_application(CommerceApp())
+    mc.add_station("Toshiba E740")
+    ec = ECSystemBuilder().build()
+    ec.mount_application(CommerceApp())
+    ec.add_client()
+    failures = 0
+    for label, system, report in [
+        ("Figure 1 (EC)", ec, ec.model.validate_ec()),
+        ("Figure 2 (MC)", mc, mc.model.validate_mc()),
+    ]:
+        print(render_structure(system.model, title=label))
+        verdict = "VALID" if report.valid else f"INVALID: {report.violations}"
+        print(f"\n{label}: {verdict}\n")
+        failures += 0 if report.valid else 1
+    return failures
+
+
+def _cmd_tables(args) -> int:
+    from repro.apps import ALL_CATEGORIES
+    from repro.devices import TABLE2_DEVICES
+    from repro.wireless import CELLULAR_STANDARDS, WLAN_STANDARDS
+
+    print("Table 1 - application categories:")
+    for name, cls in ALL_CATEGORIES.items():
+        print(f"  {name:14s} clients: {cls.clients}")
+    print("\nTable 2 - mobile stations:")
+    for spec in TABLE2_DEVICES.values():
+        print(f"  {spec.full_name:26s} {spec.os_name} {spec.os_version:6s} "
+              f"{spec.cpu_mhz:5.0f} MHz  {spec.ram_mb}/{spec.rom_mb} MB")
+    print("\nTable 3 - middleware: WAP (gateway, WML/WMLC), "
+          "i-mode (always-on, cHTML), Palm Web Clipping (extension)")
+    print("\nTable 4 - WLAN standards:")
+    for std in WLAN_STANDARDS.values():
+        low, high = std.typical_range_m
+        print(f"  {std.name:10s} {std.max_rate_bps / 1e6:4.0f} Mbps  "
+              f"{low:.0f}-{high:.0f} m  {std.modulation}/{std.band_ghz} GHz")
+    print("\nTable 5 - cellular standards:")
+    for std in CELLULAR_STANDARDS.values():
+        rate = (f"{std.data_rate_bps / 1000:.1f} kbps"
+                if std.supports_data else "voice only")
+        print(f"  {std.name:9s} {std.generation:4s} "
+              f"{std.switching}-switched  {rate}")
+    return 0
+
+
+def _cmd_info(args) -> int:
+    import repro
+
+    print(f"repro {repro.__version__} — reproduction of "
+          "'A System Model for Mobile Commerce' (ICDCSW'03)")
+    print(__doc__.split("Commands:")[0].strip())
+    for package in ("sim", "net", "wireless", "devices", "middleware",
+                    "web", "db", "security", "core", "apps"):
+        print(f"  repro.{package}")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="A mobile commerce system model, runnable.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    quickstart = sub.add_parser("quickstart",
+                                help="run one end-to-end purchase")
+    quickstart.add_argument("--device", default="Toshiba E740")
+    quickstart.add_argument("--middleware", default="WAP",
+                            choices=["WAP", "i-mode", "Palm"])
+    quickstart.add_argument("--bearer", default="GPRS")
+    quickstart.add_argument("--bearer-kind", default=None,
+                            choices=["cellular", "wlan"])
+    quickstart.set_defaults(func=_cmd_quickstart)
+
+    validate = sub.add_parser("validate",
+                              help="validate both figures' structures")
+    validate.set_defaults(func=_cmd_validate)
+
+    tables = sub.add_parser("tables", help="print the paper's tables")
+    tables.set_defaults(func=_cmd_tables)
+
+    info = sub.add_parser("info", help="version and inventory")
+    info.set_defaults(func=_cmd_info)
+
+    args = parser.parse_args(argv)
+    if getattr(args, "bearer_kind", None) is None and \
+            hasattr(args, "bearer"):
+        from repro.wireless import WLAN_STANDARDS
+        args.bearer_kind = ("wlan" if args.bearer in WLAN_STANDARDS
+                            else "cellular")
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

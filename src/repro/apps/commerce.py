@@ -1,0 +1,170 @@
+"""Mobile commerce transactions and payments (Table 1, "Commerce").
+
+The headline category: browse a catalog, view an item, authorize
+payment through the host's payment processor, and get an order
+confirmation.  Pages are personalized per user profile (requirement 2).
+"""
+
+from __future__ import annotations
+
+from ..security import PaymentError, PaymentOrder
+from ..web import HTTPResponse, render
+from .base import Application, html_page
+
+__all__ = ["CommerceApp"]
+
+CATALOG_TEMPLATE = """<html><head><title>Mobile Shop</title></head><body>
+<h1>Catalog</h1>
+<p>Welcome{{ greeting }}.</p>
+{% for item in items %}<p><a href="/shop/item?id={{ item.id }}">
+{{ item.name }} — ${{ item.price }}</a></p>{% endfor %}
+</body></html>"""
+
+ITEM_TEMPLATE = """<html><head><title>{{ item.name }}</title></head><body>
+<h1>{{ item.name }}</h1>
+<p>Price: ${{ item.price }}. In stock: {{ item.stock }}.</p>
+<p><a href="/shop/buy?id={{ item.id }}&qty=1&account={{ account }}">
+Buy now</a></p>
+</body></html>"""
+
+
+class CommerceApp(Application):
+    """Catalog + purchase, backed by the DB server and payment processor."""
+
+    category = "commerce"
+    clients = "Businesses"
+
+    def __init__(self, items=None):
+        super().__init__()
+        self.items = items or [
+            ("WAP Phone", 19900, 10),
+            ("Leather Case", 950, 100),
+            ("Car Charger", 2500, 40),
+        ]
+        self.merchant = "mobile-shop"
+        self._merchant_key = None
+
+    # -- server side -----------------------------------------------------
+    def create_schema(self, database) -> None:
+        self.sql(database,
+                 "CREATE TABLE IF NOT EXISTS shop_items ("
+                 "id INTEGER PRIMARY KEY, name TEXT NOT NULL, "
+                 "price INTEGER NOT NULL, stock INTEGER NOT NULL)")
+        self.sql(database,
+                 "CREATE TABLE IF NOT EXISTS shop_orders ("
+                 "order_id INTEGER PRIMARY KEY, item_id INTEGER NOT NULL, "
+                 "account TEXT NOT NULL, qty INTEGER NOT NULL, "
+                 "total INTEGER NOT NULL, auth_id INTEGER)")
+
+    def seed_data(self, database) -> None:
+        for index, (name, price, stock) in enumerate(self.items, start=1):
+            self.sql(database,
+                     "INSERT INTO shop_items (id, name, price, stock) "
+                     "VALUES (?, ?, ?, ?)", (index, name, price, stock))
+
+    def mount_programs(self, server) -> None:
+        payment = server.services["payment"]
+        self._merchant_key = payment.register_merchant(self.merchant)
+        server.mount("/shop/catalog", self._catalog, name="shop-catalog")
+        server.mount("/shop/item", self._item, name="shop-item")
+        server.mount("/shop/buy", self._buy, name="shop-buy")
+
+    def _catalog(self, ctx):
+        reply = yield ctx.database.query(
+            "SELECT id, name, price FROM shop_items ORDER BY id")
+        user = ctx.param("user", "")
+        greeting = ""
+        if user:
+            greeting = f" back, {user}"
+            self.mark_personalized()
+        items = [dict(r, price=f"{r['price'] / 100:.2f}")
+                 for r in reply["rows"]]
+        return HTTPResponse.ok(render(
+            CATALOG_TEMPLATE, {"items": items, "greeting": greeting}))
+
+    def _item(self, ctx):
+        item_id = int(ctx.param("id", "0"))
+        reply = yield ctx.database.query(
+            "SELECT * FROM shop_items WHERE id = ?", (item_id,))
+        if not reply["rows"]:
+            return HTTPResponse.not_found("no such item")
+        row = dict(reply["rows"][0])
+        row["price"] = f"{row['price'] / 100:.2f}"
+        account = ctx.param("account", "guest")
+        return HTTPResponse.ok(render(
+            ITEM_TEMPLATE, {"item": row, "account": account}))
+
+    def _buy(self, ctx):
+        payment = ctx.server.services["payment"]
+        item_id = int(ctx.param("id", "0"))
+        qty = int(ctx.param("qty", "1"))
+        account = ctx.param("account", "")
+        reply = yield ctx.database.query(
+            "SELECT * FROM shop_items WHERE id = ?", (item_id,))
+        if not reply["rows"]:
+            return HTTPResponse.not_found("no such item")
+        item = reply["rows"][0]
+        # Claim the stock atomically: concurrent buyers must not
+        # oversell, and the read above is a separate round trip.
+        claimed = yield ctx.database.query(
+            "UPDATE shop_items SET stock = stock - ? "
+            "WHERE id = ? AND stock >= ?",
+            (qty, item_id, qty))
+        if claimed["rowcount"] == 0:
+            return HTTPResponse(409, {"content-type": "text/plain"},
+                                "out of stock")
+        total = item["price"] * qty
+        order = PaymentOrder(
+            account=account,
+            merchant=self.merchant,
+            amount_cents=total,
+            nonce=payment.make_nonce(),
+        ).signed(self._merchant_key)
+        try:
+            authorization = payment.authorize(order)
+        except PaymentError as exc:
+            # Return the claimed stock.
+            yield ctx.database.query(
+                "UPDATE shop_items SET stock = stock + ? WHERE id = ?",
+                (qty, item_id))
+            return HTTPResponse(402, {"content-type": "text/plain"},
+                                f"payment declined: {exc}")
+        insert = yield ctx.database.query(
+            "INSERT INTO shop_orders (order_id, item_id, account, qty, "
+            "total, auth_id) VALUES (?, ?, ?, ?, ?, ?)",
+            (authorization.auth_id, item_id, account, qty, total,
+             authorization.auth_id))
+        if not insert["ok"]:
+            payment.void(authorization.auth_id)
+            return HTTPResponse.error("order write failed")
+        payment.capture(authorization.auth_id)
+        return HTTPResponse.ok(html_page(
+            "Order confirmed",
+            f"<p>Order {authorization.auth_id} confirmed: {qty} x "
+            f"{item['name']} for ${total / 100:.2f}.</p>"
+        ))
+
+    # -- client flows ----------------------------------------------------
+    def browse_and_buy(self, item_id: int = 1, account: str = "ann",
+                       user: str = ""):
+        """Flow: catalog -> item -> buy, rendering every page."""
+
+        def flow(ctx):
+            user_q = f"&user={user}" if user else ""
+            catalog = yield from ctx.get(f"/shop/catalog?x=1{user_q}")
+            yield from ctx.render(catalog)
+            item = yield from ctx.get(
+                f"/shop/item?id={item_id}&account={account}")
+            yield from ctx.render(item)
+            confirmation = yield from ctx.get(
+                f"/shop/buy?id={item_id}&qty=1&account={account}")
+            yield from ctx.render(confirmation)
+            if confirmation.status != 200:
+                raise RuntimeError(
+                    f"purchase failed: {confirmation.status} "
+                    f"{confirmation.body[:80]!r}"
+                )
+            return {"status": confirmation.status, "item": item_id}
+
+        flow.__name__ = "browse_and_buy"
+        return flow

@@ -1,0 +1,121 @@
+"""Mobile classrooms and labs (Table 1, "Education").
+
+Students list courses, enroll from their handhelds, take a short quiz
+and get a grade recorded host-side.
+"""
+
+from __future__ import annotations
+
+from ..web import HTTPResponse, render
+from .base import Application, html_page
+
+__all__ = ["EducationApp"]
+
+COURSES_TEMPLATE = """<html><head><title>Mobile Classroom</title></head>
+<body><h1>Courses</h1>
+{% for c in courses %}<p><a href="/edu/enroll?course={{ c.code }}&student={{ student }}">{{ c.code }}: {{ c.title }}</a> ({{ c.enrolled }} enrolled)</p>{% endfor %}
+</body></html>"""
+
+
+class EducationApp(Application):
+    """Course enrollment and quizzes."""
+
+    category = "education"
+    clients = "Schools and training centers"
+
+    QUIZ = {
+        "q1": "4",   # 2 + 2
+        "q2": "tcp",  # reliable transport on the internet
+    }
+
+    def create_schema(self, database) -> None:
+        self.sql(database,
+                 "CREATE TABLE IF NOT EXISTS edu_courses ("
+                 "code TEXT PRIMARY KEY, title TEXT NOT NULL, "
+                 "enrolled INTEGER NOT NULL)")
+        self.sql(database,
+                 "CREATE TABLE IF NOT EXISTS edu_enrollments ("
+                 "rowid INTEGER PRIMARY KEY, course TEXT NOT NULL, "
+                 "student TEXT NOT NULL)")
+        self.sql(database,
+                 "CREATE TABLE IF NOT EXISTS edu_grades ("
+                 "rowid INTEGER PRIMARY KEY, course TEXT NOT NULL, "
+                 "student TEXT NOT NULL, score INTEGER NOT NULL)")
+
+    def seed_data(self, database) -> None:
+        for code, title in [("CS101", "Intro to Mobile Computing"),
+                            ("EC200", "Electronic Commerce")]:
+            self.sql(database,
+                     "INSERT INTO edu_courses (code, title, enrolled) "
+                     "VALUES (?, ?, 0)", (code, title))
+        self._next_rowid = 1
+
+    def mount_programs(self, server) -> None:
+        server.mount("/edu/courses", self._courses, name="edu-courses")
+        server.mount("/edu/enroll", self._enroll, name="edu-enroll")
+        server.mount("/edu/quiz", self._quiz, name="edu-quiz")
+
+    def _courses(self, ctx):
+        reply = yield ctx.database.query(
+            "SELECT * FROM edu_courses ORDER BY code")
+        return HTTPResponse.ok(render(COURSES_TEMPLATE, {
+            "courses": reply["rows"],
+            "student": ctx.param("student", "anon"),
+        }))
+
+    def _enroll(self, ctx):
+        course = ctx.param("course")
+        student = ctx.param("student", "anon")
+        found = yield ctx.database.query(
+            "SELECT enrolled FROM edu_courses WHERE code = ?", (course,))
+        if not found["rows"]:
+            return HTTPResponse.not_found("no such course")
+        rowid = self._next_rowid
+        self._next_rowid += 1
+        yield ctx.database.query(
+            "INSERT INTO edu_enrollments (rowid, course, student) "
+            "VALUES (?, ?, ?)", (rowid, course, student))
+        yield ctx.database.query(
+            "UPDATE edu_courses SET enrolled = enrolled + 1 WHERE code = ?",
+            (course,))
+        return HTTPResponse.ok(html_page(
+            "Enrolled", f"<p>{student} enrolled in {course}. "
+            f'<a href="/edu/quiz?course={course}&student={student}'
+            f'&q1=&q2=">Take the quiz</a></p>'))
+
+    def _quiz(self, ctx):
+        course = ctx.param("course")
+        student = ctx.param("student", "anon")
+        answers = {key: ctx.param(key, "").strip().lower()
+                   for key in self.QUIZ}
+        score = sum(100 // len(self.QUIZ)
+                    for key, right in self.QUIZ.items()
+                    if answers.get(key) == right)
+        rowid = self._next_rowid
+        self._next_rowid += 1
+        yield ctx.database.query(
+            "INSERT INTO edu_grades (rowid, course, student, score) "
+            "VALUES (?, ?, ?, ?)", (rowid, course, student, score))
+        return HTTPResponse.ok(html_page(
+            "Quiz graded", f"<p>{student}: {score}/100 in {course}</p>"))
+
+    # -- flows --------------------------------------------------------------
+    def attend_class(self, student: str = "s1", course: str = "CS101",
+                     answers: dict | None = None):
+        answers = answers or {"q1": "4", "q2": "TCP"}
+
+        def flow(ctx):
+            listing = yield from ctx.get(f"/edu/courses?student={student}")
+            yield from ctx.render(listing)
+            enrolled = yield from ctx.get(
+                f"/edu/enroll?course={course}&student={student}")
+            if enrolled.status != 200:
+                raise RuntimeError("enrollment failed")
+            query = "&".join(f"{k}={v}" for k, v in answers.items())
+            graded = yield from ctx.get(
+                f"/edu/quiz?course={course}&student={student}&{query}")
+            yield from ctx.render(graded)
+            return {"status": graded.status}
+
+        flow.__name__ = "attend_class"
+        return flow

@@ -1,0 +1,101 @@
+"""Resource management / enterprise resource planning (Table 1, "ERP").
+
+Field staff check resource availability from handhelds, reserve and
+release resources, and managers pull a utilisation report.
+"""
+
+from __future__ import annotations
+
+from ..web import HTTPResponse, render
+from .base import Application, html_page
+
+__all__ = ["ERPApp"]
+
+REPORT_TEMPLATE = """<html><head><title>Resource Report</title></head><body>
+<h1>Utilisation</h1>
+{% for r in resources %}<p>{{ r.name }}: {{ r.reserved }}/{{ r.capacity }} reserved</p>{% endfor %}
+</body></html>"""
+
+
+class ERPApp(Application):
+    """Reserve/release pooled resources with overbooking protection."""
+
+    category = "erp"
+    clients = "All companies"
+
+    def __init__(self, resources=None):
+        super().__init__()
+        self.resources = resources or [
+            ("meeting-room-a", 1),
+            ("delivery-van", 3),
+            ("projector", 2),
+        ]
+
+    def create_schema(self, database) -> None:
+        self.sql(database,
+                 "CREATE TABLE IF NOT EXISTS erp_resources ("
+                 "name TEXT PRIMARY KEY, capacity INTEGER NOT NULL, "
+                 "reserved INTEGER NOT NULL)")
+
+    def seed_data(self, database) -> None:
+        for name, capacity in self.resources:
+            self.sql(database,
+                     "INSERT INTO erp_resources (name, capacity, reserved) "
+                     "VALUES (?, ?, 0)", (name, capacity))
+
+    def mount_programs(self, server) -> None:
+        server.mount("/erp/report", self._report, name="erp-report")
+        server.mount("/erp/reserve", self._reserve, name="erp-reserve")
+        server.mount("/erp/release", self._release, name="erp-release")
+
+    def _report(self, ctx):
+        reply = yield ctx.database.query(
+            "SELECT * FROM erp_resources ORDER BY name")
+        return HTTPResponse.ok(render(REPORT_TEMPLATE,
+                                      {"resources": reply["rows"]}))
+
+    def _reserve(self, ctx):
+        name = ctx.param("resource")
+        reply = yield ctx.database.query(
+            "SELECT * FROM erp_resources WHERE name = ?", (name,))
+        if not reply["rows"]:
+            return HTTPResponse.not_found("no such resource")
+        row = reply["rows"][0]
+        # Atomic claim against the capacity ceiling.
+        claimed = yield ctx.database.query(
+            "UPDATE erp_resources SET reserved = reserved + 1 "
+            "WHERE name = ? AND reserved < capacity", (name,))
+        if claimed["rowcount"] == 0:
+            return HTTPResponse(409, {"content-type": "text/plain"},
+                                "resource fully reserved")
+        return HTTPResponse.ok(html_page(
+            "Reserved", f"<p>{name} reserved "
+            f"({row['reserved'] + 1}/{row['capacity']})</p>"))
+
+    def _release(self, ctx):
+        name = ctx.param("resource")
+        reply = yield ctx.database.query(
+            "SELECT * FROM erp_resources WHERE name = ?", (name,))
+        if not reply["rows"]:
+            return HTTPResponse.not_found("no such resource")
+        released = yield ctx.database.query(
+            "UPDATE erp_resources SET reserved = reserved - 1 "
+            "WHERE name = ? AND reserved > 0", (name,))
+        if released["rowcount"] == 0:
+            return HTTPResponse(409, {"content-type": "text/plain"},
+                                "nothing to release")
+        return HTTPResponse.ok(html_page("Released", f"<p>{name} freed</p>"))
+
+    # -- flows --------------------------------------------------------------
+    def manage_resources(self, resource: str = "delivery-van"):
+        def flow(ctx):
+            report = yield from ctx.get("/erp/report")
+            yield from ctx.render(report)
+            reserved = yield from ctx.get(f"/erp/reserve?resource={resource}")
+            if reserved.status != 200:
+                raise RuntimeError(f"reserve failed: {reserved.status}")
+            released = yield from ctx.get(f"/erp/release?resource={resource}")
+            return {"status": released.status}
+
+        flow.__name__ = "manage_resources"
+        return flow

@@ -1,0 +1,140 @@
+"""Patient record accessing (Table 1, "Health care").
+
+The access-controlled category: clinicians authenticate, read patient
+records, append vitals — and every access lands in an audit log, since
+§8's confidentiality/authentication concerns bite hardest here.
+"""
+
+from __future__ import annotations
+
+from ..security import AuthenticationError
+from ..web import HTTPResponse, render
+from .base import Application, html_page
+
+__all__ = ["HealthcareApp"]
+
+RECORD_TEMPLATE = """<html><head><title>Patient {{ patient.patient_id }}</title></head>
+<body><h1>{{ patient.name }}</h1>
+<p>Ward: {{ patient.ward }}</p>
+{% for v in vitals %}<p>{{ v.kind }}: {{ v.value }}</p>{% endfor %}
+</body></html>"""
+
+
+class HealthcareApp(Application):
+    """Authenticated patient-record access with auditing."""
+
+    category = "healthcare"
+    clients = "Hospitals and nursing homes"
+
+    def create_schema(self, database) -> None:
+        self.sql(database,
+                 "CREATE TABLE IF NOT EXISTS hc_patients ("
+                 "patient_id INTEGER PRIMARY KEY, name TEXT NOT NULL, "
+                 "ward TEXT NOT NULL)")
+        self.sql(database,
+                 "CREATE TABLE IF NOT EXISTS hc_vitals ("
+                 "rowid INTEGER PRIMARY KEY, patient_id INTEGER NOT NULL, "
+                 "kind TEXT NOT NULL, value TEXT NOT NULL)")
+        self.sql(database,
+                 "CREATE TABLE IF NOT EXISTS hc_audit ("
+                 "rowid INTEGER PRIMARY KEY, clinician TEXT NOT NULL, "
+                 "patient_id INTEGER NOT NULL, action TEXT NOT NULL)")
+        self._next_rowid = 1
+
+    def seed_data(self, database) -> None:
+        self.sql(database,
+                 "INSERT INTO hc_patients (patient_id, name, ward) VALUES "
+                 "(1, 'P. Doe', 'cardiology'), (2, 'J. Roe', 'oncology')")
+        self.sql(database,
+                 "INSERT INTO hc_vitals (rowid, patient_id, kind, value) "
+                 "VALUES (9001, 1, 'pulse', '72')")
+
+    def mount_programs(self, server) -> None:
+        users = server.services["users"]
+        if "dr-grey" not in users:
+            users.register("dr-grey", "scalpel", role="clinician")
+        server.mount("/hc/login", self._login, name="hc-login")
+        server.mount("/hc/record", self._record, name="hc-record")
+        server.mount("/hc/vitals", self._vitals, name="hc-vitals")
+
+    def _login(self, ctx):
+        users = ctx.server.services["users"]
+        tokens = ctx.server.services["tokens"]
+        try:
+            profile = users.verify(ctx.param("user"), ctx.param("password"))
+        except AuthenticationError:
+            return HTTPResponse(401, {"content-type": "text/plain"},
+                                "bad credentials")
+        if profile.get("role") != "clinician":
+            return HTTPResponse(403, {"content-type": "text/plain"},
+                                "not a clinician")
+        token = tokens.issue(ctx.param("user"))
+        return HTTPResponse.ok(token, "text/plain")
+        yield  # pragma: no cover - kept a generator for uniformity
+
+    def _authenticated_user(self, ctx):
+        tokens = ctx.server.services["tokens"]
+        try:
+            return tokens.validate(ctx.param("token", ""))
+        except AuthenticationError:
+            return None
+
+    def _record(self, ctx):
+        clinician = self._authenticated_user(ctx)
+        if clinician is None:
+            return HTTPResponse(401, {"content-type": "text/plain"},
+                                "authentication required")
+        patient_id = int(ctx.param("patient", "0"))
+        patient = yield ctx.database.query(
+            "SELECT * FROM hc_patients WHERE patient_id = ?", (patient_id,))
+        if not patient["rows"]:
+            return HTTPResponse.not_found("no such patient")
+        vitals = yield ctx.database.query(
+            "SELECT * FROM hc_vitals WHERE patient_id = ? ORDER BY rowid",
+            (patient_id,))
+        yield self._audit(ctx, clinician, patient_id, "read")
+        return HTTPResponse.ok(render(RECORD_TEMPLATE, {
+            "patient": patient["rows"][0], "vitals": vitals["rows"]}))
+
+    def _vitals(self, ctx):
+        clinician = self._authenticated_user(ctx)
+        if clinician is None:
+            return HTTPResponse(401, {"content-type": "text/plain"},
+                                "authentication required")
+        patient_id = int(ctx.param("patient", "0"))
+        rowid = self._next_rowid
+        self._next_rowid += 1
+        yield ctx.database.query(
+            "INSERT INTO hc_vitals (rowid, patient_id, kind, value) "
+            "VALUES (?, ?, ?, ?)",
+            (rowid, patient_id, ctx.param("kind", "note"),
+             ctx.param("value", "")))
+        yield self._audit(ctx, clinician, patient_id, "write")
+        return HTTPResponse.ok(html_page("Recorded", "<p>vitals saved</p>"))
+
+    def _audit(self, ctx, clinician: str, patient_id: int, action: str):
+        rowid = self._next_rowid
+        self._next_rowid += 1
+        return ctx.database.query(
+            "INSERT INTO hc_audit (rowid, clinician, patient_id, action) "
+            "VALUES (?, ?, ?, ?)", (rowid, clinician, patient_id, action))
+
+    # -- flows --------------------------------------------------------------
+    def rounds(self, user: str = "dr-grey", password: str = "scalpel",
+               patient: int = 1):
+        def flow(ctx):
+            login = yield from ctx.get(
+                f"/hc/login?user={user}&password={password}")
+            if login.status != 200:
+                raise RuntimeError("login failed")
+            token = login.body.decode()
+            record = yield from ctx.get(
+                f"/hc/record?patient={patient}&token={token}")
+            yield from ctx.render(record)
+            update = yield from ctx.get(
+                f"/hc/vitals?patient={patient}&kind=pulse&value=68"
+                f"&token={token}")
+            return {"status": update.status}
+
+        flow.__name__ = "rounds"
+        return flow

@@ -1,0 +1,122 @@
+"""Product tracking and dispatching (Table 1, "Inventory tracking").
+
+The paper's example of a task "not feasible for electronic commerce":
+drivers post shipment positions from the field, dispatchers query live
+status and dispatch the nearest vehicle to a pickup.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..web import HTTPResponse, render
+from .base import Application, html_page
+
+__all__ = ["InventoryApp"]
+
+STATUS_TEMPLATE = """<html><head><title>Fleet Status</title></head><body>
+<h1>Shipments</h1>
+{% for s in shipments %}<p>#{{ s.shipment_id }} {{ s.status }} at ({{ s.x }}, {{ s.y }}) driver {{ s.driver }}</p>{% endfor %}
+</body></html>"""
+
+
+class InventoryApp(Application):
+    """Fleet tracking + nearest-vehicle dispatching."""
+
+    category = "inventory"
+    clients = "Delivery services and transportation"
+
+    def create_schema(self, database) -> None:
+        self.sql(database,
+                 "CREATE TABLE IF NOT EXISTS inv_shipments ("
+                 "shipment_id INTEGER PRIMARY KEY, driver TEXT NOT NULL, "
+                 "status TEXT NOT NULL, x REAL NOT NULL, y REAL NOT NULL)")
+
+    def seed_data(self, database) -> None:
+        self.sql(database,
+                 "INSERT INTO inv_shipments (shipment_id, driver, status, "
+                 "x, y) VALUES "
+                 "(1, 'dave', 'en-route', 0.0, 0.0), "
+                 "(2, 'erin', 'idle', 5.0, 5.0), "
+                 "(3, 'finn', 'idle', 50.0, 50.0)")
+
+    def mount_programs(self, server) -> None:
+        server.mount("/fleet/status", self._status, name="fleet-status")
+        server.mount("/fleet/update", self._update, name="fleet-update")
+        server.mount("/fleet/dispatch", self._dispatch, name="fleet-dispatch")
+
+    def _status(self, ctx):
+        reply = yield ctx.database.query(
+            "SELECT * FROM inv_shipments ORDER BY shipment_id")
+        return HTTPResponse.ok(render(STATUS_TEMPLATE,
+                                      {"shipments": reply["rows"]}))
+
+    def _update(self, ctx):
+        """A driver reports position/status for their shipment."""
+        shipment = int(ctx.param("shipment", "0"))
+        found = yield ctx.database.query(
+            "SELECT * FROM inv_shipments WHERE shipment_id = ?", (shipment,))
+        if not found["rows"]:
+            return HTTPResponse.not_found("no such shipment")
+        x = float(ctx.param("x", found["rows"][0]["x"]))
+        y = float(ctx.param("y", found["rows"][0]["y"]))
+        status = ctx.param("status", found["rows"][0]["status"])
+        yield ctx.database.query(
+            "UPDATE inv_shipments SET x = ?, y = ?, status = ? "
+            "WHERE shipment_id = ?", (x, y, status, shipment))
+        return HTTPResponse.ok(html_page("Updated",
+                                         f"<p>shipment {shipment} at "
+                                         f"({x}, {y}) {status}</p>"))
+
+    def _dispatch(self, ctx):
+        """Dispatch the nearest idle vehicle to a pickup point."""
+        px = float(ctx.param("x", "0"))
+        py = float(ctx.param("y", "0"))
+        idle = yield ctx.database.query(
+            "SELECT * FROM inv_shipments WHERE status = 'idle'")
+        if not idle["rows"]:
+            return HTTPResponse(409, {"content-type": "text/plain"},
+                                "no idle vehicles")
+        nearest = min(
+            idle["rows"],
+            key=lambda r: math.hypot(r["x"] - px, r["y"] - py),
+        )
+        yield ctx.database.query(
+            "UPDATE inv_shipments SET status = 'dispatched' "
+            "WHERE shipment_id = ?", (nearest["shipment_id"],))
+        return HTTPResponse.ok(html_page(
+            "Dispatched",
+            f"<p>driver {nearest['driver']} (shipment "
+            f"{nearest['shipment_id']}) dispatched to ({px}, {py})</p>"))
+
+    # -- flows --------------------------------------------------------------
+    def driver_rounds(self, shipment: int = 1, positions=None,
+                      status: str = "en-route"):
+        """A driver posting a series of position updates."""
+        positions = positions or [(1.0, 2.0), (2.0, 4.0), (3.0, 6.0)]
+
+        def flow(ctx):
+            last = None
+            for x, y in positions:
+                last = yield from ctx.get(
+                    f"/fleet/update?shipment={shipment}&x={x}&y={y}"
+                    f"&status={status}")
+                if last.status != 200:
+                    raise RuntimeError("update failed")
+            return {"status": last.status, "updates": len(positions)}
+
+        flow.__name__ = "driver_rounds"
+        return flow
+
+    def dispatcher_flow(self, pickup=(6.0, 6.0)):
+        def flow(ctx):
+            status = yield from ctx.get("/fleet/status")
+            yield from ctx.render(status)
+            dispatched = yield from ctx.get(
+                f"/fleet/dispatch?x={pickup[0]}&y={pickup[1]}")
+            if dispatched.status != 200:
+                raise RuntimeError("dispatch failed")
+            return {"status": dispatched.status}
+
+        flow.__name__ = "dispatcher_flow"
+        return flow

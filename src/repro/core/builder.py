@@ -1,0 +1,409 @@
+"""System builders: Figures 1 and 2 as executable object graphs.
+
+:class:`MCSystemBuilder` assembles a complete mobile commerce system —
+host tier (web server + database server + application programs),
+wired core, a wireless bearer (any Table 4 WLAN standard or Table 5
+cellular standard), mobile middleware (WAP gateway or i-mode centre),
+and Table 2 mobile stations — and returns an :class:`MCSystem` whose
+``model`` mirrors Figure 2 and validates against it.
+
+:class:`ECSystemBuilder` assembles Figure 1's four-component electronic
+commerce system the same way (desktop clients, no wireless, no
+middleware), so the two figures can be compared by running the same
+application code on both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..db import DatabaseClient, DatabaseServer
+from ..devices import Microbrowser, MobileStation, build_station
+from ..middleware import (
+    DirectHTTPSession,
+    IModeCenter,
+    IModeSession,
+    MiddlewareSession,
+    PalmSession,
+    WAPGateway,
+    WAPSession,
+    WebClippingProxy,
+)
+from ..net import AddressAllocator, NameRegistry, Network, Node, Subnet
+from ..security import PaymentProcessor, TokenIssuer, UserStore
+from ..sim import SeedBank, Simulator
+from ..web import WebServer
+from ..wireless import (
+    AccessPoint,
+    CellularNetwork,
+    ChannelModel,
+    Mobile,
+    Position,
+    cellular_standard,
+    wlan_standard,
+)
+from .components import Component, ComponentKind, EDGE_ASSOCIATION, EDGE_DATA_FLOW
+from .model import SystemModel
+
+__all__ = ["HostTier", "StationHandle", "ClientHandle", "MCSystem",
+           "ECSystem", "MCSystemBuilder", "ECSystemBuilder"]
+
+HOST_DOMAIN = "shop.example.com"
+
+
+@dataclass
+class HostTier:
+    """The paper's host computer: web server, DB server, app programs."""
+
+    web_node: Node
+    db_node: Node
+    web_server: WebServer
+    db_server: DatabaseServer
+    db_client: DatabaseClient
+    payment: PaymentProcessor
+    users: UserStore
+    tokens: TokenIssuer
+
+
+@dataclass
+class StationHandle:
+    """One provisioned mobile station with its middleware session."""
+
+    station: MobileStation
+    session: MiddlewareSession
+    browser: Microbrowser
+    attachment: object = None  # Association or CellularAttachment
+
+
+@dataclass
+class ClientHandle:
+    """One wired desktop client (EC systems)."""
+
+    node: Node
+    session: MiddlewareSession
+
+
+class _BaseSystem:
+    """Shared host/infrastructure state of EC and MC systems."""
+
+    def __init__(self, sim: Simulator, network: Network,
+                 registry: NameRegistry, host: HostTier,
+                 model: SystemModel, seeds: SeedBank):
+        self.sim = sim
+        self.network = network
+        self.registry = registry
+        self.host = host
+        self.model = model
+        self.seeds = seeds
+        self.applications: list = []
+
+    @property
+    def host_url(self) -> str:
+        return f"http://{HOST_DOMAIN}"
+
+    def url(self, path: str) -> str:
+        if not path.startswith("/"):
+            path = "/" + path
+        return self.host_url + path
+
+    def mount_application(self, application) -> None:
+        """Install an application's server side and register it in the model."""
+        application.install(self)
+        self.applications.append(application)
+        name = f"app:{application.category}"
+        self.model.add(Component(
+            kind=ComponentKind.APPLICATIONS,
+            name=name,
+            implementation=application,
+        ))
+        self.model.connect(name, "host-computers", EDGE_ASSOCIATION)
+
+    def run(self, until: Optional[float] = None) -> None:
+        self.sim.run(until=until)
+
+
+class MCSystem(_BaseSystem):
+    """A running six-component mobile commerce system."""
+
+    def __init__(self, *args, middleware_kind: str, bearer_kind: str,
+                 bearer_name: str, attach_fn, session_fn,
+                 station_allocator: AddressAllocator, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.middleware_kind = middleware_kind
+        self.bearer_kind = bearer_kind
+        self.bearer_name = bearer_name
+        self._attach_fn = attach_fn
+        self._session_fn = session_fn
+        self._station_allocator = station_allocator
+        self.stations: list[StationHandle] = []
+
+    def add_station(self, device_name: str,
+                    position: Position = Position(10.0, 0.0),
+                    name: Optional[str] = None) -> StationHandle:
+        """Provision a Table 2 device, attach it to the bearer."""
+        address = self._station_allocator.allocate()
+        station = build_station(self.sim, device_name, address,
+                                position=position, name=name)
+        self.network.adopt(station)
+        attachment = self._attach_fn(station)
+        session = self._session_fn(station)
+        handle = StationHandle(
+            station=station,
+            session=session,
+            browser=Microbrowser(station),
+            attachment=attachment,
+        )
+        self.stations.append(handle)
+        return handle
+
+
+class ECSystem(_BaseSystem):
+    """A running four-component electronic commerce system."""
+
+    def __init__(self, *args, client_subnet: Subnet, core: Node, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._client_subnet = client_subnet
+        self._core = core
+        self.clients: list[ClientHandle] = []
+
+    def add_client(self, name: Optional[str] = None) -> ClientHandle:
+        """Add a desktop client wired to the core."""
+        node = self.network.add_node(
+            name or f"desktop-{len(self.clients)}")
+        self.network.connect(self._core, node, self._client_subnet,
+                             bandwidth_bps=100_000_000, delay=0.002)
+        self.network.build_routes()
+        handle = ClientHandle(
+            node=node,
+            session=DirectHTTPSession(node, self.registry),
+        )
+        self.clients.append(handle)
+        return handle
+
+
+def _build_host_tier(sim: Simulator, network: Network, core: Node,
+                     registry: NameRegistry, seeds: SeedBank) -> HostTier:
+    web_node = network.add_node("web-host")
+    db_node = network.add_node("db-host")
+    network.connect(core, web_node, Subnet.parse("10.1.0.0/24"),
+                    bandwidth_bps=100_000_000, delay=0.001)
+    network.connect(web_node, db_node, Subnet.parse("10.1.1.0/24"),
+                    bandwidth_bps=1_000_000_000, delay=0.000_2)
+
+    db_server = DatabaseServer(db_node)
+    db_client = DatabaseClient(web_node, db_node.primary_address)
+    web_server = WebServer(web_node, database=db_client)
+
+    payment = PaymentProcessor(sim, seeds.stream("payment"))
+    users = UserStore(seeds.stream("users"))
+    tokens = TokenIssuer(sim, secret=seeds.stream("tokens").bytes(32))
+    web_server.services.update(
+        payment=payment, users=users, tokens=tokens,
+        database=db_client, registry=registry,
+    )
+    registry.register(HOST_DOMAIN, web_node.primary_address)
+
+    def connect_db(env):
+        yield db_client.connect()
+
+    sim.spawn(connect_db(sim), name="host-db-connect")
+    return HostTier(
+        web_node=web_node,
+        db_node=db_node,
+        web_server=web_server,
+        db_server=db_server,
+        db_client=db_client,
+        payment=payment,
+        users=users,
+        tokens=tokens,
+    )
+
+
+def _host_model(model: SystemModel, host: HostTier) -> None:
+    """Register the host tier's boxes and internal edges (both figures)."""
+    model.add(Component(ComponentKind.HOST_COMPUTERS, "host-computers",
+                        implementation=host))
+    model.add(Component(ComponentKind.WEB_SERVERS, "web-servers",
+                        implementation=host.web_server))
+    model.add(Component(ComponentKind.DATABASE_SERVERS, "database-servers",
+                        implementation=host.db_server))
+    model.add(Component(ComponentKind.APPLICATION_PROGRAMS,
+                        "application-programs",
+                        implementation=host.web_server.cgi))
+    model.connect("host-computers", "web-servers", EDGE_ASSOCIATION)
+    model.connect("host-computers", "database-servers", EDGE_ASSOCIATION)
+    model.connect("host-computers", "application-programs", EDGE_ASSOCIATION)
+    model.connect("web-servers", "database-servers", EDGE_DATA_FLOW)
+    model.connect("application-programs", "web-servers", EDGE_DATA_FLOW)
+
+
+class MCSystemBuilder:
+    """Composable construction of Figure 2's system."""
+
+    def __init__(self, seed: int = 0, middleware: str = "WAP",
+                 bearer: tuple[str, str] = ("cellular", "GPRS"),
+                 wireless_loss: float = 0.0, secure_wap: bool = False):
+        if middleware not in ("WAP", "i-mode", "Palm"):
+            raise ValueError(f"unknown middleware {middleware!r}")
+        if secure_wap and middleware != "WAP":
+            raise ValueError("secure_wap requires the WAP middleware")
+        self.secure_wap = secure_wap
+        bearer_kind, bearer_name = bearer
+        if bearer_kind not in ("wlan", "cellular"):
+            raise ValueError(f"unknown bearer kind {bearer_kind!r}")
+        self.seed = seed
+        self.middleware = middleware
+        self.bearer_kind = bearer_kind
+        self.bearer_name = bearer_name
+        self.wireless_loss = wireless_loss
+
+    def build(self) -> MCSystem:
+        seeds = SeedBank(self.seed)
+        sim = Simulator()
+        network = Network(sim)
+        registry = NameRegistry()
+        model = SystemModel(name="mc-system")
+
+        core = network.add_node("internet-core", forwarding=True)
+        host = _build_host_tier(sim, network, core, registry, seeds)
+
+        # -- middleware node --------------------------------------------
+        middleware_node = network.add_node("middleware-gw", forwarding=True)
+        network.connect(core, middleware_node, Subnet.parse("10.2.0.0/24"),
+                        bandwidth_bps=100_000_000, delay=0.002)
+
+        # -- wireless bearer ----------------------------------------------
+        station_subnet = Subnet.parse("10.200.0.0/16")
+        allocator = AddressAllocator(station_subnet)
+        loss_stream = (seeds.stream("wireless-loss")
+                       if self.wireless_loss > 0 else None)
+
+        if self.bearer_kind == "wlan":
+            standard = wlan_standard(self.bearer_name)
+            channel = ChannelModel(
+                fading_stream=seeds.stream("fading")
+                if self.wireless_loss > 0 else None)
+            ap = AccessPoint(middleware_node, Position(0.0, 0.0), standard,
+                             channel, wireless_subnet=station_subnet)
+            bearer_impl = ap
+
+            def attach(station: MobileStation):
+                return ap.associate(station, station.mobile)
+        else:
+            standard = cellular_standard(self.bearer_name)
+            cellnet = CellularNetwork(
+                network, middleware_node, standard,
+                loss_rate=self.wireless_loss, loss_stream=loss_stream,
+                subscriber_subnet=str(station_subnet),
+            )
+            cellnet.add_base_station("cell-0", Position(0.0, 0.0))
+            bearer_impl = cellnet
+
+            def attach(station: MobileStation):
+                return cellnet.attach(station, station.mobile)
+
+        network.build_routes()
+
+        # -- middleware service -------------------------------------------
+        if self.middleware == "WAP":
+            gateway = WAPGateway(middleware_node, registry,
+                                 entropy=seeds.stream("wtls-gateway"))
+            secure = self.secure_wap
+
+            def make_session(station: MobileStation) -> MiddlewareSession:
+                if secure:
+                    return WAPSession(
+                        station, middleware_node.primary_address,
+                        secure=True,
+                        entropy=seeds.stream(f"wtls-{station.name}"))
+                return WAPSession(station,
+                                  middleware_node.primary_address)
+        elif self.middleware == "Palm":
+            gateway = WebClippingProxy(middleware_node, registry)
+
+            def make_session(station: MobileStation) -> MiddlewareSession:
+                return PalmSession(station,
+                                   middleware_node.primary_address)
+        else:
+            gateway = IModeCenter(middleware_node, registry)
+
+            def make_session(station: MobileStation) -> MiddlewareSession:
+                return IModeSession(station,
+                                    middleware_node.primary_address)
+
+        # -- figure 2 model ----------------------------------------------
+        _host_model(model, host)
+        model.add(Component(ComponentKind.USERS, "users"))
+        model.add(Component(ComponentKind.MOBILE_STATIONS, "mobile-stations",
+                            implementation=[]))
+        model.add(Component(ComponentKind.MOBILE_MIDDLEWARE,
+                            "mobile-middleware", implementation=gateway,
+                            optional=True))
+        model.add(Component(ComponentKind.WIRELESS_NETWORKS,
+                            "wireless-networks", implementation=bearer_impl,
+                            attributes={"standard": self.bearer_name}))
+        model.add(Component(ComponentKind.WIRED_NETWORKS, "wired-networks",
+                            implementation=network))
+        model.add(Component(ComponentKind.USER_INTERFACE, "user-interface"))
+        model.connect("users", "mobile-stations", EDGE_DATA_FLOW)
+        model.connect("users", "user-interface", EDGE_ASSOCIATION)
+        model.connect("user-interface", "mobile-stations", EDGE_ASSOCIATION)
+        model.connect("mobile-stations", "wireless-networks", EDGE_DATA_FLOW)
+        model.connect("mobile-stations", "mobile-middleware",
+                      EDGE_ASSOCIATION)
+        model.connect("mobile-middleware", "wireless-networks",
+                      EDGE_ASSOCIATION)
+        model.connect("wireless-networks", "wired-networks", EDGE_DATA_FLOW)
+        model.connect("wired-networks", "host-computers", EDGE_DATA_FLOW)
+
+        system = MCSystem(
+            sim, network, registry, host, model, seeds,
+            middleware_kind=self.middleware,
+            bearer_kind=self.bearer_kind,
+            bearer_name=self.bearer_name,
+            attach_fn=attach,
+            session_fn=make_session,
+            station_allocator=allocator,
+        )
+        model.component("mobile-stations").implementation = system.stations
+        return system
+
+
+class ECSystemBuilder:
+    """Composable construction of Figure 1's system."""
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+
+    def build(self) -> ECSystem:
+        seeds = SeedBank(self.seed)
+        sim = Simulator()
+        network = Network(sim)
+        registry = NameRegistry()
+        model = SystemModel(name="ec-system")
+
+        core = network.add_node("internet-core", forwarding=True)
+        host = _build_host_tier(sim, network, core, registry, seeds)
+        network.build_routes()
+
+        _host_model(model, host)
+        model.add(Component(ComponentKind.USERS, "users"))
+        model.add(Component(ComponentKind.CLIENT_COMPUTERS,
+                            "client-computers", implementation=[]))
+        model.add(Component(ComponentKind.WIRED_NETWORKS, "wired-networks",
+                            implementation=network))
+        model.add(Component(ComponentKind.USER_INTERFACE, "user-interface"))
+        model.connect("users", "client-computers", EDGE_DATA_FLOW)
+        model.connect("users", "user-interface", EDGE_ASSOCIATION)
+        model.connect("user-interface", "client-computers", EDGE_ASSOCIATION)
+        model.connect("client-computers", "wired-networks", EDGE_DATA_FLOW)
+        model.connect("wired-networks", "host-computers", EDGE_DATA_FLOW)
+
+        system = ECSystem(
+            sim, network, registry, host, model, seeds,
+            client_subnet=Subnet.parse("10.3.0.0/24"),
+            core=core,
+        )
+        model.component("client-computers").implementation = system.clients
+        return system

@@ -1,0 +1,199 @@
+"""The system-model graph and its validation against Figures 1 and 2.
+
+A :class:`SystemModel` holds instantiated components and typed edges
+(association / bidirectional data-control flow).  ``validate_ec()`` and
+``validate_mc()`` check a model against the reference topologies the
+paper draws: which components must exist, which are optional, and which
+data-flow chain must connect users to host computers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from .components import (
+    Component,
+    ComponentKind,
+    EC_COMPONENTS,
+    EDGE_ASSOCIATION,
+    EDGE_DATA_FLOW,
+    MC_COMPONENTS,
+    MC_OPTIONAL_COMPONENTS,
+)
+
+__all__ = ["Edge", "SystemModel", "ValidationReport"]
+
+
+@dataclass(frozen=True)
+class Edge:
+    source: str   # component name
+    target: str
+    kind: str     # EDGE_ASSOCIATION | EDGE_DATA_FLOW
+
+    def __post_init__(self):
+        if self.kind not in (EDGE_ASSOCIATION, EDGE_DATA_FLOW):
+            raise ValueError(f"unknown edge kind {self.kind!r}")
+
+
+@dataclass
+class ValidationReport:
+    """The outcome of validating a model against a reference figure."""
+
+    figure: str
+    violations: list[str] = field(default_factory=list)
+
+    @property
+    def valid(self) -> bool:
+        return not self.violations
+
+    def __bool__(self) -> bool:
+        return self.valid
+
+
+# The data/control-flow chains of the two figures, expressed as the
+# sequence of component kinds a user request traverses.
+EC_FLOW_CHAIN = (
+    ComponentKind.USERS,
+    ComponentKind.CLIENT_COMPUTERS,
+    ComponentKind.WIRED_NETWORKS,
+    ComponentKind.HOST_COMPUTERS,
+)
+
+MC_FLOW_CHAIN = (
+    ComponentKind.USERS,
+    ComponentKind.MOBILE_STATIONS,
+    ComponentKind.WIRELESS_NETWORKS,
+    ComponentKind.WIRED_NETWORKS,
+    ComponentKind.HOST_COMPUTERS,
+)
+
+
+class SystemModel:
+    """Instantiated components plus the figure's edges."""
+
+    def __init__(self, name: str = "system"):
+        self.name = name
+        self._components: dict[str, Component] = {}
+        self._edges: list[Edge] = []
+
+    # -- construction -----------------------------------------------------
+    def add(self, component: Component) -> Component:
+        if component.name in self._components:
+            raise ValueError(f"duplicate component name {component.name!r}")
+        self._components[component.name] = component
+        return component
+
+    def connect(self, source: str, target: str,
+                kind: str = EDGE_DATA_FLOW) -> Edge:
+        for name in (source, target):
+            if name not in self._components:
+                raise KeyError(f"unknown component {name!r}")
+        edge = Edge(source, target, kind)
+        self._edges.append(edge)
+        return edge
+
+    # -- inspection ---------------------------------------------------------
+    def component(self, name: str) -> Component:
+        return self._components[name]
+
+    def components(self, kind: Optional[str] = None) -> list[Component]:
+        if kind is None:
+            return list(self._components.values())
+        return [c for c in self._components.values() if c.kind == kind]
+
+    def edges(self, kind: Optional[str] = None) -> list[Edge]:
+        if kind is None:
+            return list(self._edges)
+        return [e for e in self._edges if e.kind == kind]
+
+    def has_kind(self, kind: str) -> bool:
+        return bool(self.components(kind))
+
+    def neighbours(self, name: str, kind: Optional[str] = None) -> list[str]:
+        """Components connected to ``name`` (data flow is bidirectional)."""
+        out = []
+        for edge in self._edges:
+            if kind is not None and edge.kind != kind:
+                continue
+            if edge.source == name:
+                out.append(edge.target)
+            elif edge.target == name:
+                out.append(edge.source)
+        return out
+
+    def flow_path_exists(self, chain: tuple) -> bool:
+        """Is there a data-flow path visiting the kinds of ``chain`` in order?"""
+        frontier = [c.name for c in self.components(chain[0])]
+        for next_kind in chain[1:]:
+            next_frontier = []
+            for name in frontier:
+                for neighbour in self.neighbours(name, EDGE_DATA_FLOW):
+                    if self._components[neighbour].kind == next_kind:
+                        next_frontier.append(neighbour)
+            if not next_frontier:
+                return False
+            frontier = next_frontier
+        return True
+
+    # -- validation -----------------------------------------------------------
+    def validate_ec(self) -> ValidationReport:
+        """Check this model against Figure 1's EC reference structure."""
+        report = ValidationReport(figure="Figure 1 (EC system structure)")
+        self._check_kinds(report, EC_COMPONENTS, optional=frozenset())
+        self._check_host_internals(report)
+        if self.has_kind(ComponentKind.WIRELESS_NETWORKS):
+            report.violations.append(
+                "EC systems have no wireless networks component"
+            )
+        if not self.flow_path_exists(EC_FLOW_CHAIN):
+            report.violations.append(
+                "no data/control-flow path users -> client computers -> "
+                "wired networks -> host computers"
+            )
+        return report
+
+    def validate_mc(self) -> ValidationReport:
+        """Check this model against Figure 2's MC reference structure."""
+        report = ValidationReport(figure="Figure 2 (MC system structure)")
+        self._check_kinds(report, MC_COMPONENTS,
+                          optional=MC_OPTIONAL_COMPONENTS)
+        self._check_host_internals(report)
+        if not self.flow_path_exists(MC_FLOW_CHAIN):
+            report.violations.append(
+                "no data/control-flow path users -> mobile stations -> "
+                "wireless networks -> wired networks -> host computers"
+            )
+        # Applications associate with both ends of the system (Figure 2
+        # draws MC applications above, associated with stations and hosts).
+        for app in self.components(ComponentKind.APPLICATIONS):
+            linked_kinds = {
+                self._components[n].kind
+                for n in self.neighbours(app.name)
+            }
+            if ComponentKind.HOST_COMPUTERS not in linked_kinds:
+                report.violations.append(
+                    f"application {app.name!r} is not associated with any "
+                    "host computer"
+                )
+        return report
+
+    def _check_kinds(self, report: ValidationReport, required: tuple,
+                     optional: frozenset) -> None:
+        for kind in required:
+            if kind in optional:
+                continue
+            if not self.has_kind(kind):
+                report.violations.append(f"missing component kind: {kind}")
+
+    def _check_host_internals(self, report: ValidationReport) -> None:
+        """Hosts must contain web servers, DB servers and app programs (§7)."""
+        if not self.has_kind(ComponentKind.HOST_COMPUTERS):
+            return
+        for kind in (ComponentKind.WEB_SERVERS,
+                     ComponentKind.DATABASE_SERVERS,
+                     ComponentKind.APPLICATION_PROGRAMS):
+            if not self.has_kind(kind):
+                report.violations.append(
+                    f"host computers lack required part: {kind}"
+                )

@@ -1,0 +1,81 @@
+"""Structure rendering: Figures 1 and 2 as text diagrams.
+
+``render_structure`` draws a :class:`~repro.core.model.SystemModel` the
+way the paper draws its figures: one box per component (optional
+components in ``( )``), association edges as ``---``, bidirectional
+data/control flow as ``<==>``, and the host-computer internals nested.
+The figure benchmarks print these for visual comparison with the paper.
+"""
+
+from __future__ import annotations
+
+from .components import ComponentKind, EDGE_ASSOCIATION, EDGE_DATA_FLOW
+from .model import SystemModel
+
+__all__ = ["render_structure", "render_flow_chain"]
+
+_HOST_INTERNAL_KINDS = (
+    ComponentKind.WEB_SERVERS,
+    ComponentKind.DATABASE_SERVERS,
+    ComponentKind.APPLICATION_PROGRAMS,
+)
+
+_TOP_LEVEL_ORDER = (
+    ComponentKind.APPLICATIONS,
+    ComponentKind.USERS,
+    ComponentKind.USER_INTERFACE,
+    ComponentKind.CLIENT_COMPUTERS,
+    ComponentKind.MOBILE_STATIONS,
+    ComponentKind.MOBILE_MIDDLEWARE,
+    ComponentKind.WIRELESS_NETWORKS,
+    ComponentKind.WIRED_NETWORKS,
+    ComponentKind.HOST_COMPUTERS,
+)
+
+
+def _box(label: str, optional: bool) -> str:
+    inner = f"( {label} )" if optional else f"[ {label} ]"
+    return inner
+
+
+def render_structure(model: SystemModel, title: str = "") -> str:
+    """A text rendering of the component graph."""
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append("")
+    lines.append("Components:")
+    for kind in _TOP_LEVEL_ORDER:
+        for component in model.components(kind):
+            label = _box(component.name, component.optional)
+            detail = ""
+            if component.attributes:
+                detail = "  " + ", ".join(
+                    f"{k}={v}" for k, v in sorted(component.attributes.items())
+                )
+            lines.append(f"  {label}{detail}")
+            if kind == ComponentKind.HOST_COMPUTERS:
+                for inner_kind in _HOST_INTERNAL_KINDS:
+                    for inner in model.components(inner_kind):
+                        lines.append(f"      +-- {_box(inner.name, False)}")
+    lines.append("")
+    lines.append("Edges:  <==>  bidirectional data/control flow,"
+                 "  ---  association")
+    internal = {c.name for kind in _HOST_INTERNAL_KINDS
+                for c in model.components(kind)}
+    for edge in model.edges():
+        arrow = "<==>" if edge.kind == EDGE_DATA_FLOW else "--- "
+        prefix = "      " if (edge.source in internal
+                              or edge.target in internal) else "  "
+        lines.append(f"{prefix}{edge.source} {arrow} {edge.target}")
+    return "\n".join(lines)
+
+
+def render_flow_chain(model: SystemModel, chain: tuple) -> str:
+    """The user-request path as a one-line diagram."""
+    segments = []
+    for kind in chain:
+        names = [c.name for c in model.components(kind)]
+        segments.append(names[0] if names else f"<missing {kind}>")
+    return "  <==>  ".join(segments)

@@ -1,0 +1,178 @@
+"""Checker for the five mobile-commerce system requirements (§1.1).
+
+Each requirement becomes a concrete, falsifiable check against a built
+system and its transaction ledger:
+
+1. *Transactions easily, timely, ubiquitously* — every started
+   transaction completed, within a latency budget, from every station.
+2. *Personalization on request* — at least one application served
+   content adapted to the requesting user.
+3. *Wide application range* — the Table 1 categories actually mounted.
+4. *Maximum interoperability* — every device x middleware x bearer
+   combination in the tested matrix worked.
+5. *Program/data independence* — the same application flow produced
+   the same business outcome on different component stacks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..sim import StatSummary
+
+__all__ = ["RequirementResult", "RequirementsReport", "check_requirements",
+           "run_interoperability_matrix", "REQUIREMENT_DESCRIPTIONS"]
+
+REQUIREMENT_DESCRIPTIONS = {
+    1: "end users can perform transactions easily, timely, ubiquitously",
+    2: "products can be personalized or customized upon request",
+    3: "a wide range of mobile commerce applications is supported",
+    4: "maximum interoperability across technologies",
+    5: "program/data independence under component change",
+}
+
+
+@dataclass
+class RequirementResult:
+    number: int
+    description: str
+    satisfied: bool
+    evidence: str
+
+
+@dataclass
+class RequirementsReport:
+    results: list[RequirementResult] = field(default_factory=list)
+
+    @property
+    def all_satisfied(self) -> bool:
+        return all(r.satisfied for r in self.results)
+
+    def result(self, number: int) -> RequirementResult:
+        for r in self.results:
+            if r.number == number:
+                return r
+        raise KeyError(f"no requirement {number}")
+
+    def summary(self) -> str:
+        lines = ["Requirements (paper §1.1):"]
+        for r in sorted(self.results, key=lambda x: x.number):
+            mark = "PASS" if r.satisfied else "FAIL"
+            lines.append(f"  [{mark}] R{r.number}: {r.description}")
+            lines.append(f"         {r.evidence}")
+        return "\n".join(lines)
+
+
+def check_requirements(
+    system,
+    engine,
+    latency_budget: float = 10.0,
+    interop_matrix: Optional[dict] = None,
+    independence_outcomes: Optional[dict] = None,
+    expected_categories: Optional[set] = None,
+) -> RequirementsReport:
+    """Evaluate all five requirements.
+
+    ``interop_matrix`` maps (device, middleware, bearer) -> bool (run it
+    with :func:`run_interoperability_matrix`); ``independence_outcomes``
+    maps a stack label -> the business outcome of the reference flow.
+    Checks without supplied evidence are reported unsatisfied with an
+    explanatory message rather than silently passing.
+    """
+    report = RequirementsReport()
+
+    # R1 — timely + ubiquitous transactions.
+    completed = engine.completed
+    ok = engine.successful
+    stations = getattr(system, "stations", [])
+    used_clients = {r.client_name for r in ok}
+    latencies = StatSummary.of(engine.latencies())
+    r1 = (bool(completed) and len(ok) == len(completed)
+          and latencies.p95 <= latency_budget
+          and all(getattr(h.station, "name", "") in used_clients
+                  for h in stations))
+    report.results.append(RequirementResult(
+        1, REQUIREMENT_DESCRIPTIONS[1], r1,
+        f"{len(ok)}/{len(completed)} transactions succeeded, "
+        f"p95 latency {latencies.p95:.2f}s (budget {latency_budget}s), "
+        f"{len(used_clients)} client(s) exercised",
+    ))
+
+    # R2 — personalization.
+    personalized = [app for app in system.applications
+                    if getattr(app, "personalization_used", False)]
+    report.results.append(RequirementResult(
+        2, REQUIREMENT_DESCRIPTIONS[2], bool(personalized),
+        (f"personalized content served by: "
+         f"{', '.join(a.category for a in personalized)}"
+         if personalized else "no application served personalized content"),
+    ))
+
+    # R3 — breadth of applications.
+    mounted = {app.category for app in system.applications}
+    expected = expected_categories or mounted
+    missing = expected - mounted
+    report.results.append(RequirementResult(
+        3, REQUIREMENT_DESCRIPTIONS[3], bool(mounted) and not missing,
+        f"mounted categories: {sorted(mounted)}"
+        + (f"; missing: {sorted(missing)}" if missing else ""),
+    ))
+
+    # R4 — interoperability.
+    if interop_matrix:
+        failures = [k for k, worked in interop_matrix.items() if not worked]
+        report.results.append(RequirementResult(
+            4, REQUIREMENT_DESCRIPTIONS[4], not failures,
+            f"{len(interop_matrix) - len(failures)}/{len(interop_matrix)} "
+            f"device x middleware x bearer combinations worked"
+            + (f"; failing: {failures}" if failures else ""),
+        ))
+    else:
+        report.results.append(RequirementResult(
+            4, REQUIREMENT_DESCRIPTIONS[4], False,
+            "no interoperability matrix supplied "
+            "(run run_interoperability_matrix)",
+        ))
+
+    # R5 — program/data independence.
+    if independence_outcomes and len(independence_outcomes) >= 2:
+        outcomes = list(independence_outcomes.values())
+        identical = all(o == outcomes[0] for o in outcomes[1:])
+        report.results.append(RequirementResult(
+            5, REQUIREMENT_DESCRIPTIONS[5], identical,
+            f"same flow on {sorted(independence_outcomes)} produced "
+            + ("identical outcomes" if identical else
+               f"different outcomes: {independence_outcomes}"),
+        ))
+    else:
+        report.results.append(RequirementResult(
+            5, REQUIREMENT_DESCRIPTIONS[5], False,
+            "need outcomes from at least two component stacks",
+        ))
+    return report
+
+
+def run_interoperability_matrix(
+    devices: list[str],
+    middlewares: list[str],
+    bearers: list[tuple[str, str]],
+    scenario: Callable,
+    seed: int = 0,
+) -> dict:
+    """Run ``scenario(builder_kwargs, device)`` over the full matrix.
+
+    ``scenario`` must build a system (from the given kwargs), add the
+    named device, run one transaction and return True/False.  Returns
+    {(device, middleware, bearer_name): bool}.
+    """
+    matrix: dict = {}
+    for device in devices:
+        for middleware in middlewares:
+            for bearer in bearers:
+                worked = scenario(
+                    dict(seed=seed, middleware=middleware, bearer=bearer),
+                    device,
+                )
+                matrix[(device, middleware, bearer[1])] = bool(worked)
+    return matrix

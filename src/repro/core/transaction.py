@@ -1,0 +1,155 @@
+"""The end-to-end mobile commerce transaction engine.
+
+Requirement 1 of §1.1: "allow end users to perform mobile commerce
+transactions easily, in a timely manner, and ubiquitously."  The engine
+runs an application *flow* (a generator using a station's middleware
+session and browser), measures it wall-to-wall, charges device-side
+rendering to the station hardware, and produces a
+:class:`TransactionRecord` the benchmarks aggregate.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from ..middleware import MiddlewareResponse
+from ..sim import Event, Simulator
+
+__all__ = ["TransactionRecord", "TransactionContext", "TransactionEngine"]
+
+_txn_ids = itertools.count(1)
+
+
+@dataclass
+class TransactionRecord:
+    """The measured outcome of one end-to-end transaction."""
+
+    txn_id: int
+    flow_name: str
+    client_name: str
+    started_at: float
+    finished_at: float = 0.0
+    ok: bool = False
+    error: str = ""
+    result: Any = None
+    requests: int = 0
+    bytes_received: int = 0
+    render_seconds: float = 0.0
+    steps: list[str] = field(default_factory=list)
+
+    @property
+    def latency(self) -> float:
+        return self.finished_at - self.started_at
+
+
+class TransactionContext:
+    """What a flow sees: fetch/submit/render primitives plus bookkeeping."""
+
+    def __init__(self, engine: "TransactionEngine", handle,
+                 record: TransactionRecord):
+        self.engine = engine
+        self.handle = handle
+        self.record = record
+        self.system = engine.system
+
+    # -- network I/O ------------------------------------------------------
+    def get(self, path: str):
+        """Generator: GET a host path through the middleware session."""
+        response = yield self.handle.session.get(self.system.url(path))
+        self._account(path, response)
+        return response
+
+    def post(self, path: str, form: dict):
+        response = yield self.handle.session.post(self.system.url(path),
+                                                  form)
+        self._account(path, response)
+        return response
+
+    def _account(self, path: str, response: MiddlewareResponse) -> None:
+        self.record.requests += 1
+        self.record.bytes_received += len(response.body)
+        self.record.steps.append(
+            f"{path} -> {response.status} ({len(response.body)}B)"
+        )
+
+    # -- device-side work ----------------------------------------------------
+    def render(self, response: MiddlewareResponse):
+        """Generator: render a response on the device (if it has a browser)."""
+        browser = getattr(self.handle, "browser", None)
+        if browser is None:
+            return None
+        page = yield browser.render(response.body, response.content_type)
+        self.record.render_seconds += page.render_seconds
+        self.record.steps.append(
+            f"rendered {page.source_bytes}B in {page.render_seconds:.3f}s"
+        )
+        return page
+
+    def note(self, message: str) -> None:
+        self.record.steps.append(message)
+
+
+FlowFunction = Callable[[TransactionContext], Any]
+
+
+class TransactionEngine:
+    """Runs flows against a built system and keeps the ledger."""
+
+    def __init__(self, system):
+        self.system = system
+        self.sim: Simulator = system.sim
+        self.records: list[TransactionRecord] = []
+
+    def run_flow(self, handle, flow: FlowFunction,
+                 name: Optional[str] = None) -> Event:
+        """Execute ``flow(ctx)``; event yields the TransactionRecord.
+
+        The record is marked ``ok`` when the flow returns without
+        raising; its return value lands in ``record.result``.
+        """
+        client_name = getattr(
+            getattr(handle, "station", None), "name", None
+        ) or getattr(getattr(handle, "node", None), "name", "client")
+        record = TransactionRecord(
+            txn_id=next(_txn_ids),
+            flow_name=name or getattr(flow, "__name__", "flow"),
+            client_name=client_name,
+            started_at=self.sim.now,
+        )
+        self.records.append(record)
+        context = TransactionContext(self, handle, record)
+        done = self.sim.event()
+
+        def runner(env):
+            try:
+                result = yield from flow(context)
+                record.ok = True
+                record.result = result
+            except Exception as exc:
+                record.ok = False
+                record.error = f"{type(exc).__name__}: {exc}"
+            record.finished_at = env.now
+            done.succeed(record)
+
+        self.sim.spawn(runner(self.sim), name=f"txn-{record.txn_id}")
+        return done
+
+    # -- aggregate views ----------------------------------------------------
+    @property
+    def completed(self) -> list[TransactionRecord]:
+        return [r for r in self.records if r.finished_at > 0]
+
+    @property
+    def successful(self) -> list[TransactionRecord]:
+        return [r for r in self.completed if r.ok]
+
+    def success_rate(self) -> float:
+        done = self.completed
+        if not done:
+            return 0.0
+        return len(self.successful) / len(done)
+
+    def latencies(self) -> list[float]:
+        return [r.latency for r in self.successful]

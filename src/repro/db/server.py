@@ -1,0 +1,202 @@
+"""Database server: the SQL engine behind a TCP wire protocol.
+
+The host computer's database tier (paper §7).  Clients send
+length-prefixed JSON requests ``{"sql": ..., "params": [...]}`` over a
+TCP connection and receive ``{"ok": ..., "rows": ...}`` responses.
+Each query also burns a service time proportional to the result size,
+so database load shows up in end-to-end transaction latency.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Optional
+
+from ..net.addressing import IPAddress
+from ..net.node import Node
+from ..net.tcp import TCPConnection, TCPStack, tcp_stack
+from ..sim import Counter, Event
+from .engine import Database
+from .transactions import TransactionManager
+
+__all__ = ["DatabaseServer", "DatabaseClient", "encode_message",
+           "MessageReader", "DEFAULT_DB_PORT"]
+
+DEFAULT_DB_PORT = 5432
+BASE_SERVICE_TIME = 0.000_5
+PER_ROW_SERVICE_TIME = 0.000_01
+
+
+def encode_message(obj: dict) -> bytes:
+    """Length-prefixed JSON framing."""
+    body = json.dumps(obj, separators=(",", ":")).encode()
+    return struct.pack(">I", len(body)) + body
+
+
+class MessageReader:
+    """Incremental decoder for length-prefixed JSON frames."""
+
+    def __init__(self):
+        self._buffer = b""
+
+    def feed(self, data: bytes) -> list[dict]:
+        """Add bytes; return every complete message now available."""
+        self._buffer += data
+        messages = []
+        while len(self._buffer) >= 4:
+            (length,) = struct.unpack(">I", self._buffer[:4])
+            if len(self._buffer) < 4 + length:
+                break
+            body = self._buffer[4: 4 + length]
+            self._buffer = self._buffer[4 + length:]
+            messages.append(json.loads(body.decode()))
+        return messages
+
+
+class DatabaseServer:
+    """Serves a :class:`Database` over TCP with per-connection transactions.
+
+    Protocol verbs:
+
+    * ``{"sql": ..., "params": [...]}`` — autocommit execution;
+    * ``{"begin": true}`` / ``{"commit": true}`` / ``{"rollback": true}``
+      — explicit transaction control for the connection.
+    """
+
+    def __init__(self, node: Node, database: Optional[Database] = None,
+                 port: int = DEFAULT_DB_PORT,
+                 tcp: Optional[TCPStack] = None):
+        self.node = node
+        self.sim = node.sim
+        self.database = database or Database()
+        self.manager = TransactionManager(self.sim, self.database)
+        self.port = port
+        self.tcp = tcp or tcp_stack(node)
+        self.stats = Counter()
+        self._listener = self.tcp.listen(port)
+        self.sim.spawn(self._accept_loop(), name=f"dbserver@{node.name}")
+
+    def _accept_loop(self):
+        while True:
+            conn = yield self._listener.accept()
+            self.stats.incr("connections")
+            self.sim.spawn(self._serve(conn), name="db-session")
+
+    def _serve(self, conn: TCPConnection):
+        reader = MessageReader()
+        txn = None
+        while True:
+            chunk = yield conn.recv()
+            if chunk == b"":
+                if txn is not None:
+                    txn.rollback()
+                return
+            for request in reader.feed(chunk):
+                txn, reply = yield from self._handle(request, txn)
+                conn.send(encode_message(reply))
+
+    def _handle(self, request: dict, txn):
+        if request.get("begin"):
+            if txn is not None:
+                txn.rollback()
+            txn = self.manager.begin()
+            self.stats.incr("begins")
+            return txn, {"ok": True}
+        if request.get("commit"):
+            if txn is not None:
+                txn.commit()
+                self.stats.incr("commits")
+            return None, {"ok": True}
+        if request.get("rollback"):
+            if txn is not None:
+                txn.rollback()
+                self.stats.incr("rollbacks")
+            return None, {"ok": True}
+
+        sql = request.get("sql", "")
+        params = tuple(request.get("params", ()))
+        active = txn if txn is not None else self.manager.begin()
+        try:
+            result = yield active.execute(sql, params)
+        except Exception as exc:
+            # execute() already rolled the transaction back.
+            self.stats.incr("errors")
+            return None, {"ok": False, "error": str(exc)}
+        yield self.sim.timeout(
+            BASE_SERVICE_TIME + PER_ROW_SERVICE_TIME * len(result.rows)
+        )
+        if txn is None:
+            active.commit()
+        self.stats.incr("queries")
+        return txn, {
+            "ok": True,
+            "rows": result.rows,
+            "rowcount": result.rowcount,
+            "access_path": result.access_path,
+        }
+
+
+class DatabaseClient:
+    """Client-side helper: one TCP connection, blocking query calls."""
+
+    def __init__(self, node: Node, server_address: IPAddress,
+                 port: int = DEFAULT_DB_PORT,
+                 tcp: Optional[TCPStack] = None):
+        self.node = node
+        self.sim = node.sim
+        self.server_address = server_address
+        self.port = port
+        self.tcp = tcp or tcp_stack(node)
+        self._conn: Optional[TCPConnection] = None
+        self._reader = MessageReader()
+        self._pending: list[dict] = []
+        # Serialise concurrent callers so replies match their requests.
+        from ..sim import Resource
+        self._mutex = Resource(self.sim, capacity=1)
+
+    def connect(self) -> Event:
+        """Event firing when the connection is established."""
+        self._conn = self.tcp.connect(self.server_address, self.port)
+        return self._conn.established_event
+
+    def query(self, sql: str, params: tuple = ()) -> Event:
+        """Event yielding the server's reply dict."""
+        return self._roundtrip({"sql": sql, "params": list(params)})
+
+    def begin(self) -> Event:
+        return self._roundtrip({"begin": True})
+
+    def commit(self) -> Event:
+        return self._roundtrip({"commit": True})
+
+    def rollback(self) -> Event:
+        return self._roundtrip({"rollback": True})
+
+    def _roundtrip(self, request: dict) -> Event:
+        if self._conn is None:
+            raise RuntimeError("call connect() first")
+        result = self.sim.event()
+
+        def exchange(env):
+            grant = self._mutex.request()
+            yield grant
+            try:
+                self._conn.send(encode_message(request))
+                while not self._pending:
+                    chunk = yield self._conn.recv()
+                    if chunk == b"":
+                        result.succeed(
+                            {"ok": False, "error": "connection closed"})
+                        return
+                    self._pending.extend(self._reader.feed(chunk))
+                result.succeed(self._pending.pop(0))
+            finally:
+                self._mutex.release(grant)
+
+        self.sim.spawn(exchange(self.sim), name="db-client")
+        return result
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()

@@ -1,0 +1,101 @@
+"""The device catalogue: Table 2 of the paper, as instantiable specs.
+
+Every row of "Table 2. Some major mobile stations" is here with its
+published numbers.  The Nokia 9290's clock rate is not in the table
+(the paper notes some entries are "classified as confidential"); we
+model the 32-bit ARM9 RISC at its well-known 52 MHz and flag that in
+the spec's ``note`` field.
+"""
+
+from __future__ import annotations
+
+from ..net.addressing import IPAddress
+from ..sim import Simulator
+from ..wireless.mobility import Position
+from .os import OS_PROFILES, OSProfile
+from .station import DeviceSpec, MobileStation, Screen
+
+__all__ = ["TABLE2_DEVICES", "device_spec", "build_station"]
+
+TABLE2_DEVICES: dict[str, DeviceSpec] = {
+    spec.full_name: spec
+    for spec in [
+        DeviceSpec(
+            vendor="Compaq",
+            model="iPAQ H3870",
+            os_name="Pocket PC",
+            os_version="2002",
+            cpu_name="206 MHz Intel StrongARM 32-bit RISC",
+            cpu_mhz=206.0,
+            ram_mb=64,
+            rom_mb=32,
+            screen=Screen(width_px=240, height_px=320, color=True),
+        ),
+        DeviceSpec(
+            vendor="Nokia",
+            model="9290 Communicator",
+            os_name="Symbian OS",
+            os_version="6.0",
+            cpu_name="32-bit ARM9 RISC",
+            cpu_mhz=52.0,
+            ram_mb=16,
+            rom_mb=8,
+            screen=Screen(width_px=640, height_px=200, color=True),
+            note="clock rate not published in Table 2 (confidential); "
+                 "modelled at the ARM9's shipping 52 MHz",
+        ),
+        DeviceSpec(
+            vendor="Palm",
+            model="i705",
+            os_name="Palm OS",
+            os_version="4.1",
+            cpu_name="33 MHz Motorola Dragonball VZ",
+            cpu_mhz=33.0,
+            ram_mb=8,
+            rom_mb=4,
+            screen=Screen(width_px=160, height_px=160, color=False),
+        ),
+        DeviceSpec(
+            vendor="SONY",
+            model="Clie PEG-NR70V",
+            os_name="Palm OS",
+            os_version="4.1",
+            cpu_name="66 MHz Motorola Dragonball Super VZ",
+            cpu_mhz=66.0,
+            ram_mb=16,
+            rom_mb=8,
+            screen=Screen(width_px=320, height_px=480, color=True),
+        ),
+        DeviceSpec(
+            vendor="Toshiba",
+            model="E740",
+            os_name="Pocket PC",
+            os_version="2002",
+            cpu_name="400 MHz Intel PXA250",
+            cpu_mhz=400.0,
+            ram_mb=64,
+            rom_mb=32,
+            screen=Screen(width_px=240, height_px=320, color=True),
+        ),
+    ]
+}
+
+
+def device_spec(full_name: str) -> DeviceSpec:
+    """Look up a Table 2 device ("Palm i705", "Toshiba E740", ...)."""
+    try:
+        return TABLE2_DEVICES[full_name]
+    except KeyError:
+        raise KeyError(
+            f"unknown device {full_name!r}; known: {sorted(TABLE2_DEVICES)}"
+        ) from None
+
+
+def build_station(sim: Simulator, full_name: str, address: IPAddress,
+                  position: Position = Position(0, 0),
+                  name: str | None = None) -> MobileStation:
+    """Instantiate a Table 2 device as a ready-to-attach MobileStation."""
+    spec = device_spec(full_name)
+    profile: OSProfile = OS_PROFILES[spec.os_name]
+    return MobileStation(sim, spec, profile, address,
+                         position=position, name=name)

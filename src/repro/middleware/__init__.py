@@ -1,0 +1,79 @@
+"""Mobile middleware component (paper §5): WAP, i-mode, content adaptation."""
+
+from .adaptation import (
+    CARD_TEXT_LIMIT,
+    extract_links,
+    extract_title,
+    html_to_wml,
+    personalize,
+    strip_tags,
+)
+from .base import (
+    FrameReader,
+    decode_obj,
+    encode_obj,
+    MiddlewareResponse,
+    MiddlewareSession,
+    encode_frame,
+    split_url,
+)
+from .direct import DirectHTTPSession
+from .chtml import ALLOWED_TAGS, CHTML_CONTENT_TYPE, is_compact, to_chtml
+from .imode import IMODE_PORT, IModeCenter, IModeSession
+from .palm import (
+    CLIPPING_CONTENT_TYPE,
+    CLIPPING_PORT,
+    PalmSession,
+    WebClippingProxy,
+)
+from .wap import WAPGateway, WAPSession, WSP_PORT, WTLS_PORT
+from .wml import (
+    WML_CONTENT_TYPE,
+    WMLC_CONTENT_TYPE,
+    WMLCard,
+    WMLDocument,
+    WMLError,
+    decode_wmlc,
+    encode_wmlc,
+    parse_wml,
+)
+
+__all__ = [
+    "CARD_TEXT_LIMIT",
+    "extract_links",
+    "extract_title",
+    "html_to_wml",
+    "personalize",
+    "strip_tags",
+    "FrameReader",
+    "MiddlewareResponse",
+    "MiddlewareSession",
+    "encode_frame",
+    "encode_obj",
+    "decode_obj",
+    "split_url",
+    "ALLOWED_TAGS",
+    "CHTML_CONTENT_TYPE",
+    "is_compact",
+    "to_chtml",
+    "DirectHTTPSession",
+    "IMODE_PORT",
+    "IModeCenter",
+    "IModeSession",
+    "CLIPPING_CONTENT_TYPE",
+    "CLIPPING_PORT",
+    "PalmSession",
+    "WebClippingProxy",
+    "WAPGateway",
+    "WAPSession",
+    "WSP_PORT",
+    "WTLS_PORT",
+    "WML_CONTENT_TYPE",
+    "WMLC_CONTENT_TYPE",
+    "WMLCard",
+    "WMLDocument",
+    "WMLError",
+    "decode_wmlc",
+    "encode_wmlc",
+    "parse_wml",
+]

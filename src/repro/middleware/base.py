@@ -1,0 +1,129 @@
+"""Middleware abstraction: what every mobile middleware must provide.
+
+The paper's requirement 5 ("program/data independence: the change of
+system components does not affect the existing programs") is enforced
+here: applications speak to a :class:`MiddlewareSession` — ``get(url)``
+and ``post(url, form)`` returning :class:`MiddlewareResponse` — and
+never know whether a WAP gateway or the i-mode service is underneath.
+Swapping middleware is a constructor change, which the interoperability
+tests exercise for every device x middleware x bearer combination.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import struct
+from dataclasses import dataclass, field
+from typing import Optional
+from urllib.parse import urlsplit
+
+from ..sim import Event
+
+__all__ = ["MiddlewareResponse", "MiddlewareSession", "split_url",
+           "encode_frame", "encode_obj", "decode_obj", "FrameReader"]
+
+
+@dataclass
+class MiddlewareResponse:
+    """What a mobile application gets back for a URL."""
+
+    status: int
+    content_type: str
+    body: bytes
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+
+class MiddlewareSession:
+    """Interface implemented by WAPSession and IModeSession."""
+
+    middleware_name = "abstract"
+
+    def get(self, url: str) -> Event:
+        """Event yielding a MiddlewareResponse (or failing)."""
+        raise NotImplementedError
+
+    def post(self, url: str, form: dict) -> Event:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        raise NotImplementedError
+
+
+def split_url(url: str) -> tuple[str, str]:
+    """(host, path-with-query) from an absolute http URL."""
+    parts = urlsplit(url)
+    if parts.scheme not in ("http", ""):
+        raise ValueError(f"unsupported scheme in {url!r}")
+    host = parts.netloc or ""
+    if not host:
+        raise ValueError(f"URL {url!r} has no host")
+    path = parts.path or "/"
+    if parts.query:
+        path += "?" + parts.query
+    return host, path
+
+
+# ---------------------------------------------------------------- framing
+def encode_obj(obj: dict) -> bytes:
+    """JSON with bytes values as {"__b64__": ...} (no length prefix).
+
+    Used directly over record-preserving transports (WTLS records);
+    :func:`encode_frame` adds the length prefix for byte streams.
+    """
+
+    def default(value):
+        raise TypeError(f"unencodable {type(value).__name__}")
+
+    prepared = {
+        key: ({"__b64__": base64.b64encode(value).decode()}
+              if isinstance(value, bytes) else value)
+        for key, value in obj.items()
+    }
+    return json.dumps(prepared, separators=(",", ":"),
+                      default=default).encode()
+
+
+def decode_obj(data: bytes) -> dict:
+    """Inverse of :func:`encode_obj`."""
+    raw = json.loads(data.decode())
+    return {
+        key: (base64.b64decode(value["__b64__"])
+              if isinstance(value, dict) and "__b64__" in value
+              else value)
+        for key, value in raw.items()
+    }
+
+
+def encode_frame(obj: dict) -> bytes:
+    """Length-prefixed JSON; bytes values become {"__b64__": ...}."""
+    body = encode_obj(obj)
+    return struct.pack(">I", len(body)) + body
+
+
+class FrameReader:
+    """Incremental decoder for :func:`encode_frame` output."""
+
+    def __init__(self):
+        self._buffer = b""
+
+    def feed(self, data: bytes) -> list[dict]:
+        self._buffer += data
+        frames = []
+        while len(self._buffer) >= 4:
+            (length,) = struct.unpack(">I", self._buffer[:4])
+            if len(self._buffer) < 4 + length:
+                break
+            raw = json.loads(self._buffer[4: 4 + length].decode())
+            self._buffer = self._buffer[4 + length:]
+            frames.append({
+                key: (base64.b64decode(value["__b64__"])
+                      if isinstance(value, dict) and "__b64__" in value
+                      else value)
+                for key, value in raw.items()
+            })
+        return frames

@@ -1,0 +1,99 @@
+"""cHTML (Compact HTML): i-mode's host language (paper Table 3).
+
+cHTML is a strict subset of HTML designed for phones: no tables, no
+frames, no scripts, no stylesheets.  :func:`to_chtml` downgrades full
+HTML to that subset (the adaptation i-mode content providers do at
+authoring time — here done by the i-mode centre for legacy content),
+and :func:`is_compact` checks conformance.
+"""
+
+from __future__ import annotations
+
+__all__ = ["CHTML_CONTENT_TYPE", "ALLOWED_TAGS", "to_chtml", "is_compact"]
+
+CHTML_CONTENT_TYPE = "text/x-chtml"
+
+# The cHTML 1.0 tag whitelist (abridged to what our pages use).
+ALLOWED_TAGS = {
+    "html", "head", "title", "body", "p", "br", "a", "h1", "h2", "h3",
+    "ul", "ol", "li", "blockquote", "pre", "center", "hr", "img", "form",
+    "input", "select", "option", "textarea", "div", "b", "i",
+}
+
+# Tags whose *content* must be dropped entirely, not just the tags.
+_DROP_CONTENT_TAGS = {"script", "style"}
+
+
+def _tag_name(tag_body: str) -> str:
+    name = tag_body.strip().lstrip("/").split()[0] if tag_body.strip() else ""
+    return name.lower().rstrip("/")
+
+
+def to_chtml(html: str) -> str:
+    """Reduce HTML to the cHTML subset.
+
+    Disallowed tags are removed (content kept, except script/style whose
+    bodies are dropped); attributes other than href/src/name/value/type
+    are stripped.
+    """
+    out: list[str] = []
+    pos = 0
+    skip_until: str | None = None
+    while pos < len(html):
+        start = html.find("<", pos)
+        if start < 0:
+            if skip_until is None:
+                out.append(html[pos:])
+            break
+        if start > pos and skip_until is None:
+            out.append(html[pos:start])
+        end = html.find(">", start)
+        if end < 0:
+            break
+        tag_body = html[start + 1: end]
+        name = _tag_name(tag_body)
+        pos = end + 1
+        if skip_until is not None:
+            if tag_body.strip().startswith("/") and name == skip_until:
+                skip_until = None
+            continue
+        if name in _DROP_CONTENT_TAGS:
+            if not tag_body.strip().startswith("/") and \
+                    not tag_body.rstrip().endswith("/"):
+                skip_until = name
+            continue
+        if name in ALLOWED_TAGS:
+            out.append(_clean_tag(tag_body, name))
+    return "".join(out)
+
+
+def _clean_tag(tag_body: str, name: str) -> str:
+    closing = tag_body.strip().startswith("/")
+    if closing:
+        return f"</{name}>"
+    kept = []
+    for attr in ("href", "src", "name", "value", "type", "action", "method"):
+        marker = f'{attr}="'
+        idx = tag_body.find(marker)
+        if idx >= 0:
+            end = tag_body.find('"', idx + len(marker))
+            if end > 0:
+                kept.append(tag_body[idx: end + 1])
+    attrs = (" " + " ".join(kept)) if kept else ""
+    return f"<{name}{attrs}>"
+
+
+def is_compact(html: str) -> bool:
+    """True if every tag in ``html`` is in the cHTML whitelist."""
+    pos = 0
+    while True:
+        start = html.find("<", pos)
+        if start < 0:
+            return True
+        end = html.find(">", start)
+        if end < 0:
+            return False
+        name = _tag_name(html[start + 1: end])
+        if name and name not in ALLOWED_TAGS:
+            return False
+        pos = end + 1

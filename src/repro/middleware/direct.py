@@ -1,0 +1,80 @@
+"""Direct (wired) HTTP access presented as a MiddlewareSession.
+
+Electronic-commerce clients (Figure 1's desktop computers) reach the
+host over plain HTTP with no middleware.  Wrapping that access in the
+:class:`MiddlewareSession` interface keeps application code identical
+across EC and MC systems — the paper's program/data-independence
+requirement, demonstrated rather than asserted.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+from urllib.parse import urlencode
+
+from ..net.dns import NameRegistry
+from ..net.node import Node
+from ..net.tcp import TCPStack
+from ..sim import Counter, Event
+from ..web.client import HTTPClient
+from .base import MiddlewareResponse, MiddlewareSession, split_url
+
+__all__ = ["DirectHTTPSession"]
+
+
+class DirectHTTPSession(MiddlewareSession):
+    """No-middleware client access for wired (EC) clients."""
+
+    middleware_name = "direct-http"
+
+    def __init__(self, node: Node, registry: NameRegistry,
+                 tcp: Optional[TCPStack] = None):
+        self.node = node
+        self.sim = node.sim
+        self.registry = registry
+        self.http = HTTPClient(node, tcp=tcp)
+        self.stats = Counter()
+
+    def get(self, url: str) -> Event:
+        return self._fetch("GET", url, None)
+
+    def post(self, url: str, form: dict) -> Event:
+        return self._fetch("POST", url, urlencode(form).encode())
+
+    def _fetch(self, method: str, url: str, body) -> Event:
+        result = self.sim.event()
+
+        def go(env):
+            try:
+                host, path = split_url(url)
+            except ValueError as exc:
+                result.fail(exc)
+                return
+            origin = self.registry.lookup(host)
+            if origin is None:
+                result.succeed(MiddlewareResponse(
+                    status=502, content_type="text/plain",
+                    body=f"cannot resolve {host}".encode()))
+                return
+            self.stats.incr("requests")
+            if method == "POST":
+                response = yield self.http.post(origin, path, body)
+            else:
+                response = yield self.http.get(origin, path)
+            if response is None:
+                result.succeed(MiddlewareResponse(
+                    status=504, content_type="text/plain",
+                    body=b"timeout"))
+                return
+            result.succeed(MiddlewareResponse(
+                status=response.status,
+                content_type=response.content_type,
+                body=response.body,
+                meta={"delivered_bytes": len(response.body)},
+            ))
+
+        self.sim.spawn(go(self.sim), name="direct-http")
+        return result
+
+    def close(self) -> None:
+        pass

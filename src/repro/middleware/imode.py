@@ -1,0 +1,186 @@
+"""i-mode: the always-on packet Internet service (paper §5.1, Table 3).
+
+Where WAP is "a protocol" with a translating gateway, i-mode is "a
+complete mobile Internet service": phones keep an always-on packet
+session to the i-mode centre, which proxies ordinary HTTP to content
+providers and serves cHTML ("TCP/IP modifications" rather than a new
+stack).  The centre adapts legacy HTML to compact HTML; content
+authored as cHTML passes through untouched.
+
+The contrast the Table 3 benchmark measures falls out of the two
+implementations: an :class:`IModeSession` holds one persistent
+keep-alive connection (no per-request session establishment) and the
+centre does cheap tag-stripping instead of full WML transcoding.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+from urllib.parse import urlencode
+
+from ..net.addressing import IPAddress
+from ..net.dns import NameRegistry
+from ..net.node import Node
+from ..net.tcp import TCPConnection, TCPStack, tcp_stack
+from ..sim import Counter, Event
+from ..web.client import HTTPClient
+from ..web.http import HTTPRequest, HTTPResponse, RequestParser, ResponseParser
+from .base import MiddlewareResponse, MiddlewareSession, split_url
+from .chtml import CHTML_CONTENT_TYPE, is_compact, to_chtml
+
+__all__ = ["IModeCenter", "IModeSession", "IMODE_PORT"]
+
+IMODE_PORT = 8700
+ADAPTATION_TIME_PER_KB = 0.000_5  # tag stripping is cheap
+
+
+class IModeCenter:
+    """NTT DoCoMo's packet-gateway-plus-portal, as an HTTP proxy."""
+
+    def __init__(self, node: Node, registry: NameRegistry,
+                 port: int = IMODE_PORT, tcp: Optional[TCPStack] = None):
+        self.node = node
+        self.sim = node.sim
+        self.registry = registry
+        self.port = port
+        self.tcp = tcp or tcp_stack(node)
+        self.http = HTTPClient(node, tcp=self.tcp)
+        self.stats = Counter()
+        self._listener = self.tcp.listen(port)
+        self.sim.spawn(self._accept_loop(), name=f"imode@{node.name}")
+
+    def _accept_loop(self):
+        while True:
+            conn = yield self._listener.accept()
+            self.stats.incr("subscriber_sessions")
+            self.sim.spawn(self._serve(conn), name="imode-session")
+
+    def _serve(self, conn: TCPConnection):
+        parser = RequestParser()
+        while True:
+            chunk = yield conn.recv()
+            if chunk == b"":
+                return
+            for request in parser.feed(chunk):
+                response = yield from self._proxy(request)
+                response.headers["connection"] = "keep-alive"
+                conn.send(response.encode())
+
+    def _proxy(self, request: HTTPRequest):
+        self.stats.incr("requests")
+        try:
+            host, path = split_url(request.path)
+        except ValueError as exc:
+            return HTTPResponse(400, {"content-type": "text/plain"},
+                                str(exc))
+        origin = self.registry.lookup(host)
+        if origin is None:
+            self.stats.incr("dns_failures")
+            return HTTPResponse(502, {"content-type": "text/plain"},
+                                f"cannot resolve {host}")
+        if request.method == "POST":
+            upstream = yield self.http.post(origin, path, request.body)
+        else:
+            upstream = yield self.http.get(origin, path)
+        if upstream is None:
+            self.stats.incr("origin_timeouts")
+            return HTTPResponse(504, {"content-type": "text/plain"},
+                                "origin timeout")
+        return (yield from self._adapt(upstream))
+
+    def _adapt(self, upstream: HTTPResponse):
+        content_type = upstream.content_type
+        body = upstream.body
+        if "text/html" in content_type:
+            text = body.decode("utf-8", errors="replace")
+            if is_compact(text):
+                content_type = CHTML_CONTENT_TYPE
+                self.stats.incr("passthrough")
+            else:
+                yield self.sim.timeout(
+                    ADAPTATION_TIME_PER_KB * max(1, len(body) // 1024)
+                )
+                body = to_chtml(text).encode()
+                content_type = CHTML_CONTENT_TYPE
+                self.stats.incr("adaptations")
+        return HTTPResponse(
+            upstream.status,
+            {"content-type": content_type},
+            body,
+        )
+
+
+class IModeSession(MiddlewareSession):
+    """A subscriber's always-on connection to the i-mode centre."""
+
+    middleware_name = "i-mode"
+
+    def __init__(self, node: Node, center_address: IPAddress,
+                 port: int = IMODE_PORT, tcp: Optional[TCPStack] = None):
+        self.node = node
+        self.sim = node.sim
+        self.center_address = center_address
+        self.port = port
+        self.tcp = tcp or tcp_stack(node)
+        self.stats = Counter()
+        self._conn: Optional[TCPConnection] = None
+        self._parser = ResponseParser()
+        self._responses: list[HTTPResponse] = []
+        # Serialise concurrent callers on the always-on connection.
+        from ..sim import Resource
+        self._mutex = Resource(self.sim, capacity=1)
+
+    def _ensure_connected(self):
+        if self._conn is not None and \
+                self._conn.state == TCPConnection.ESTABLISHED:
+            return
+        self._conn = self.tcp.connect(self.center_address, self.port)
+        self.stats.incr("session_establishments")
+        yield self._conn.established_event
+
+    def get(self, url: str) -> Event:
+        request = HTTPRequest("GET", url, {"connection": "keep-alive"})
+        return self._roundtrip(request)
+
+    def post(self, url: str, form: dict) -> Event:
+        request = HTTPRequest(
+            "POST", url,
+            {"connection": "keep-alive",
+             "content-type": "application/x-www-form-urlencoded"},
+            body=urlencode(form).encode(),
+        )
+        return self._roundtrip(request)
+
+    def _roundtrip(self, request: HTTPRequest) -> Event:
+        result = self.sim.event()
+
+        def exchange(env):
+            grant = self._mutex.request()
+            yield grant
+            try:
+                yield from self._ensure_connected()
+                self._conn.send(request.encode())
+                self.stats.incr("requests")
+                while not self._responses:
+                    chunk = yield self._conn.recv()
+                    if chunk == b"":
+                        result.fail(ConnectionError("i-mode session closed"))
+                        return
+                    self._responses.extend(self._parser.feed(chunk))
+                response = self._responses.pop(0)
+                result.succeed(MiddlewareResponse(
+                    status=response.status,
+                    content_type=response.content_type,
+                    body=response.body,
+                    meta={"delivered_bytes": len(response.body)},
+                ))
+            finally:
+                self._mutex.release(grant)
+
+        self.sim.spawn(exchange(self.sim), name="imode-get")
+        return result
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None

@@ -1,0 +1,198 @@
+"""Palm Web Clipping: the third middleware of Table 3's ecosystem.
+
+The paper's usage figures (§5.1): "60% of the world's wireless Internet
+users were using i-mode, 39% were using WAP, and 1% were using Palm
+middleware."  That 1% is Palm's *Web Clipping* system: instead of
+translating protocols (WAP) or adapting markup (i-mode), a clipping
+proxy strips pages down to pre-digested plain text "clippings" and
+ships them zlib-compressed — built for the Palm VII's tiny screens and
+slow Mobitex radios, and a natural fit for the Palm i705 in Table 2.
+
+Implemented as a third :class:`~repro.middleware.base.MiddlewareSession`
+so the interoperability matrix covers it like the other two.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Optional
+
+from ..net.addressing import IPAddress
+from ..net.dns import NameRegistry
+from ..net.node import Node
+from ..net.tcp import TCPConnection, TCPStack, tcp_stack
+from ..sim import Counter, Event, Resource
+from ..web.client import HTTPClient
+from .adaptation import extract_title, strip_tags
+from .base import (
+    FrameReader,
+    MiddlewareResponse,
+    MiddlewareSession,
+    encode_frame,
+    split_url,
+)
+
+__all__ = ["WebClippingProxy", "PalmSession", "CLIPPING_PORT",
+           "CLIPPING_CONTENT_TYPE", "CLIPPING_BYTE_LIMIT"]
+
+CLIPPING_PORT = 5002
+CLIPPING_CONTENT_TYPE = "text/x-palm-clipping"
+CLIPPING_BYTE_LIMIT = 1024  # the Palm VII-era hard ceiling per clipping
+CLIPPING_TIME_PER_KB = 0.001
+
+
+class WebClippingProxy:
+    """The clipping server: fetch, strip, truncate, compress."""
+
+    def __init__(self, node: Node, registry: NameRegistry,
+                 port: int = CLIPPING_PORT,
+                 byte_limit: int = CLIPPING_BYTE_LIMIT,
+                 tcp: Optional[TCPStack] = None):
+        self.node = node
+        self.sim = node.sim
+        self.registry = registry
+        self.port = port
+        self.byte_limit = byte_limit
+        self.tcp = tcp or tcp_stack(node)
+        self.http = HTTPClient(node, tcp=self.tcp)
+        self.stats = Counter()
+        self._listener = self.tcp.listen(port)
+        self.sim.spawn(self._accept_loop(), name=f"clipper@{node.name}")
+
+    def _accept_loop(self):
+        while True:
+            conn = yield self._listener.accept()
+            self.stats.incr("sessions")
+            self.sim.spawn(self._serve(conn), name="clipping-session")
+
+    def _serve(self, conn: TCPConnection):
+        reader = FrameReader()
+        while True:
+            chunk = yield conn.recv()
+            if chunk == b"":
+                return
+            for request in reader.feed(chunk):
+                reply = yield from self._handle(request)
+                conn.send(encode_frame(reply))
+
+    def _handle(self, request: dict):
+        self.stats.incr("requests")
+        url = request.get("url", "")
+        try:
+            host, path = split_url(url)
+        except ValueError as exc:
+            return {"status": 400, "body": str(exc).encode(), "meta": {}}
+        origin = self.registry.lookup(host)
+        if origin is None:
+            self.stats.incr("dns_failures")
+            return {"status": 502,
+                    "body": f"cannot resolve {host}".encode(), "meta": {}}
+        if request.get("method", "GET").upper() == "POST":
+            response = yield self.http.post(origin, path,
+                                            request.get("body", b""))
+        else:
+            response = yield self.http.get(origin, path)
+        if response is None:
+            self.stats.incr("origin_timeouts")
+            return {"status": 504, "body": b"origin timeout", "meta": {}}
+        return (yield from self._clip(response))
+
+    def _clip(self, response):
+        body = response.body
+        meta = {"origin_bytes": len(body), "clipped": False}
+        if "text/html" in response.content_type:
+            yield self.sim.timeout(
+                CLIPPING_TIME_PER_KB * max(1, len(body) // 1024))
+            html = body.decode("utf-8", errors="replace")
+            title = extract_title(html)
+            text = strip_tags(html)
+            clipping = (f"{title}\n{text}" if title else text)
+            truncated = len(clipping.encode()) > self.byte_limit
+            raw = clipping.encode()[: self.byte_limit]
+            meta.update(clipped=True, truncated=truncated)
+            self.stats.incr("clippings")
+            payload = zlib.compress(raw, level=9)
+            meta["compressed_bytes"] = len(payload)
+            meta["clipping_bytes"] = len(raw)
+            return {"status": response.status, "body": payload,
+                    "content_type": CLIPPING_CONTENT_TYPE, "meta": meta}
+        # Non-HTML passes through uncompressed (rare for Palm-era use).
+        return {"status": response.status, "body": body,
+                "content_type": response.content_type, "meta": meta}
+
+
+class PalmSession(MiddlewareSession):
+    """Device-side clipping client (decompresses on arrival)."""
+
+    middleware_name = "Palm Web Clipping"
+
+    def __init__(self, node: Node, proxy_address: IPAddress,
+                 port: int = CLIPPING_PORT, tcp: Optional[TCPStack] = None):
+        self.node = node
+        self.sim = node.sim
+        self.proxy_address = proxy_address
+        self.port = port
+        self.tcp = tcp or tcp_stack(node)
+        self.stats = Counter()
+        self._conn: Optional[TCPConnection] = None
+        self._reader = FrameReader()
+        self._frames: list[dict] = []
+        self._mutex = Resource(self.sim, capacity=1)
+
+    def _ensure_connected(self):
+        if self._conn is not None and \
+                self._conn.state == TCPConnection.ESTABLISHED:
+            return
+        self._conn = self.tcp.connect(self.proxy_address, self.port)
+        self.stats.incr("session_establishments")
+        yield self._conn.established_event
+
+    def get(self, url: str) -> Event:
+        return self._roundtrip({"method": "GET", "url": url})
+
+    def post(self, url: str, form: dict) -> Event:
+        from urllib.parse import urlencode
+        return self._roundtrip({"method": "POST", "url": url,
+                                "body": urlencode(form).encode()})
+
+    def _roundtrip(self, request: dict) -> Event:
+        result = self.sim.event()
+
+        def exchange(env):
+            grant = self._mutex.request()
+            yield grant
+            try:
+                yield from self._ensure_connected()
+                self._conn.send(encode_frame(request))
+                self.stats.incr("requests")
+                while not self._frames:
+                    chunk = yield self._conn.recv()
+                    if chunk == b"":
+                        result.fail(
+                            ConnectionError("clipping session closed"))
+                        return
+                    self._frames.extend(self._reader.feed(chunk))
+                frame = self._frames.pop(0)
+                body = frame.get("body", b"")
+                content_type = frame.get("content_type", "text/plain")
+                meta = frame.get("meta", {})
+                if content_type == CLIPPING_CONTENT_TYPE and \
+                        meta.get("clipped"):
+                    meta["wire_bytes"] = len(body)
+                    body = zlib.decompress(body)
+                result.succeed(MiddlewareResponse(
+                    status=frame.get("status", 0),
+                    content_type=content_type,
+                    body=body,
+                    meta=meta,
+                ))
+            finally:
+                self._mutex.release(grant)
+
+        self.sim.spawn(exchange(self.sim), name="palm-get")
+        return result
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None

@@ -1,0 +1,299 @@
+"""WAP: the gateway and the device-side session (paper §5.1, Table 3).
+
+"Requests from mobile stations are sent as a URL through the network to
+the WAP Gateway; responses are sent from the Web server to the WAP
+Gateway in HTML and are then translated in WML and sent to the mobile
+stations."  That is literally the :class:`WAPGateway` request path:
+
+    mobile --WSP--> gateway --DNS+HTTP--> origin web server
+    mobile <--WMLC-- gateway <--HTML------ origin
+
+Simplifications (documented per DESIGN.md): WSP/WTP run over our TCP
+rather than WDP/UDP, and the session is one TCP connection per
+:class:`WAPSession` — which preserves the property Table 3's benchmark
+measures: WAP pays a gateway hop plus per-request translation, and
+must *establish* a session before the first byte, while i-mode is
+always-on.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+from urllib.parse import urlencode
+
+from ..net.addressing import IPAddress
+from ..net.dns import NameRegistry
+from ..net.node import Node
+from ..net.tcp import TCPConnection, TCPStack, tcp_stack
+from ..security.wtls import SecureChannel, SecurityError
+from ..sim import Counter, Event, RandomStream
+from ..web.client import HTTPClient
+from .adaptation import html_to_wml
+from .base import (
+    FrameReader,
+    MiddlewareResponse,
+    MiddlewareSession,
+    decode_obj,
+    encode_frame,
+    encode_obj,
+    split_url,
+)
+from .wml import WML_CONTENT_TYPE, WMLC_CONTENT_TYPE, encode_wmlc, parse_wml
+
+__all__ = ["WAPGateway", "WAPSession", "WSP_PORT", "WTLS_PORT"]
+
+WSP_PORT = 9201
+WTLS_PORT = 9203  # WAP's registered secure-session port
+TRANSLATION_TIME_PER_KB = 0.002  # HTML->WML transcoding CPU cost
+
+
+class WAPGateway:
+    """The protocol translation point between wireless and wired worlds."""
+
+    def __init__(self, node: Node, registry: NameRegistry,
+                 port: int = WSP_PORT, tcp: Optional[TCPStack] = None,
+                 entropy: Optional[RandomStream] = None,
+                 wtls_port: int = WTLS_PORT,
+                 cache_ttl: float = 0.0):
+        self.node = node
+        self.sim = node.sim
+        self.registry = registry
+        self.port = port
+        self.tcp = tcp or tcp_stack(node)
+        self.http = HTTPClient(node, tcp=self.tcp)
+        self.entropy = entropy
+        # Response cache for GETs (real gateways cached aggressively to
+        # spare the air interface); 0 disables it.
+        self.cache_ttl = cache_ttl
+        self._cache: dict[tuple, tuple[float, dict]] = {}
+        self.stats = Counter()
+        self._listener = self.tcp.listen(port)
+        self.sim.spawn(self._accept_loop(), name=f"wap-gw@{node.name}")
+        # WTLS: WAP's transport security layer, on its registered port.
+        # Enabled only when the gateway is given an entropy stream.
+        if entropy is not None:
+            self._secure_listener = self.tcp.listen(wtls_port)
+            self.sim.spawn(self._secure_accept_loop(),
+                           name=f"wap-wtls@{node.name}")
+
+    def _accept_loop(self):
+        while True:
+            conn = yield self._listener.accept()
+            self.stats.incr("wsp_sessions")
+            self.sim.spawn(self._serve(conn), name="wsp-session")
+
+    def _secure_accept_loop(self):
+        while True:
+            conn = yield self._secure_listener.accept()
+            self.stats.incr("wtls_sessions")
+            self.sim.spawn(self._serve_secure(conn), name="wtls-session")
+
+    def _serve_secure(self, conn: TCPConnection):
+        channel = SecureChannel(conn, self.entropy)
+        try:
+            yield channel.handshake_server()
+        except SecurityError:
+            self.stats.incr("wtls_handshake_failures")
+            return
+        while True:
+            try:
+                record = yield channel.recv()
+            except SecurityError:
+                self.stats.incr("wtls_record_failures")
+                return
+            if record == b"":
+                return
+            reply = yield from self._handle(decode_obj(record))
+            channel.send(encode_obj(reply))
+
+    def _serve(self, conn: TCPConnection):
+        reader = FrameReader()
+        while True:
+            chunk = yield conn.recv()
+            if chunk == b"":
+                return
+            for request in reader.feed(chunk):
+                reply = yield from self._handle(request)
+                conn.send(encode_frame(reply))
+
+    def _handle(self, request: dict):
+        self.stats.incr("wsp_requests")
+        url = request.get("url", "")
+        method = request.get("method", "GET").upper()
+        cache_key = (method, url, request.get("accept", ""))
+        if self.cache_ttl > 0 and method == "GET":
+            cached = self._cache.get(cache_key)
+            if cached is not None and \
+                    self.sim.now - cached[0] <= self.cache_ttl:
+                self.stats.incr("cache_hits")
+                reply = dict(cached[1])
+                reply["meta"] = dict(reply.get("meta", {}), cache_hit=True)
+                return reply
+        try:
+            host, path = split_url(url)
+        except ValueError as exc:
+            return {"status": 400, "content_type": "text/plain",
+                    "body": str(exc).encode(), "meta": {}}
+        origin = self.registry.lookup(host)
+        if origin is None:
+            self.stats.incr("dns_failures")
+            return {"status": 502, "content_type": "text/plain",
+                    "body": f"cannot resolve {host}".encode(), "meta": {}}
+
+        # Negotiate: origins that author native WML serve it directly
+        # (no transcoding); others fall back to HTML for translation.
+        negotiate = {"accept": f"{WML_CONTENT_TYPE}, text/html"}
+        method = request.get("method", "GET").upper()
+        if method == "POST":
+            response = yield self.http.post(
+                origin, path, request.get("body", b""),
+                headers=negotiate)
+        else:
+            response = yield self.http.get(origin, path,
+                                           headers=negotiate)
+        if response is None:
+            self.stats.incr("origin_timeouts")
+            return {"status": 504, "content_type": "text/plain",
+                    "body": b"origin timeout", "meta": {}}
+
+        reply = yield from self._translate(request, response)
+        if self.cache_ttl > 0 and method == "GET" and \
+                reply.get("status") == 200:
+            self._cache[cache_key] = (self.sim.now, reply)
+        return reply
+
+    def _translate(self, request: dict, response):
+        """HTML -> WML (-> WMLC) translation of the origin response."""
+        content_type = response.content_type
+        body = response.body
+        meta = {"translated": False, "origin_bytes": len(body)}
+        wants_binary = request.get("accept", WMLC_CONTENT_TYPE) == \
+            WMLC_CONTENT_TYPE
+
+        if "text/html" in content_type:
+            yield self.sim.timeout(
+                TRANSLATION_TIME_PER_KB * max(1, len(body) // 1024)
+            )
+            document = html_to_wml(body.decode("utf-8", errors="replace"))
+            meta["translated"] = True
+            meta["cards"] = len(document.cards)
+            self.stats.incr("translations")
+            if wants_binary:
+                body = encode_wmlc(document)
+                content_type = WMLC_CONTENT_TYPE
+                self.stats.incr("wmlc_encodings")
+            else:
+                body = document.to_xml().encode()
+                content_type = WML_CONTENT_TYPE
+        elif content_type == WML_CONTENT_TYPE and wants_binary:
+            document = parse_wml(body.decode())
+            body = encode_wmlc(document)
+            content_type = WMLC_CONTENT_TYPE
+            self.stats.incr("wmlc_encodings")
+
+        meta["delivered_bytes"] = len(body)
+        return {"status": response.status, "content_type": content_type,
+                "body": body, "meta": meta}
+
+
+class WAPSession(MiddlewareSession):
+    """Device-side WSP session to a gateway."""
+
+    middleware_name = "WAP"
+
+    def __init__(self, node: Node, gateway_address: IPAddress,
+                 port: Optional[int] = None,
+                 accept: str = WMLC_CONTENT_TYPE,
+                 tcp: Optional[TCPStack] = None,
+                 secure: bool = False,
+                 entropy: Optional[RandomStream] = None):
+        if secure and entropy is None:
+            raise ValueError("secure WAP sessions need an entropy stream")
+        self.node = node
+        self.sim = node.sim
+        self.gateway_address = gateway_address
+        self.secure = secure
+        self.entropy = entropy
+        self.port = port if port is not None else (
+            WTLS_PORT if secure else WSP_PORT)
+        self.accept = accept
+        self.tcp = tcp or tcp_stack(node)
+        self.stats = Counter()
+        self._conn: Optional[TCPConnection] = None
+        self._channel: Optional[SecureChannel] = None
+        self._reader = FrameReader()
+        self._frames: list[dict] = []
+        # One request at a time per WSP session: concurrent callers are
+        # serialised so replies match their requests.
+        from ..sim import Resource
+        self._mutex = Resource(self.sim, capacity=1)
+
+    def _ensure_connected(self):
+        """Generator: establishes the WSP (or WTLS) session on first use."""
+        if self._conn is not None and \
+                self._conn.state == TCPConnection.ESTABLISHED:
+            return
+        self._conn = self.tcp.connect(self.gateway_address, self.port)
+        self.stats.incr("session_establishments")
+        yield self._conn.established_event
+        if self.secure:
+            self._channel = SecureChannel(self._conn, self.entropy)
+            yield self._channel.handshake_client()
+            self.stats.incr("wtls_handshakes")
+
+    def get(self, url: str) -> Event:
+        return self._roundtrip({"method": "GET", "url": url,
+                                "accept": self.accept})
+
+    def post(self, url: str, form: dict) -> Event:
+        return self._roundtrip({
+            "method": "POST",
+            "url": url,
+            "accept": self.accept,
+            "body": urlencode(form).encode(),
+        })
+
+    def _roundtrip(self, request: dict) -> Event:
+        result = self.sim.event()
+
+        def exchange(env):
+            grant = self._mutex.request()
+            yield grant
+            try:
+                yield from self._ensure_connected()
+                self.stats.incr("requests")
+                if self.secure:
+                    self._channel.send(encode_obj(request))
+                    record = yield self._channel.recv()
+                    if record == b"":
+                        result.fail(ConnectionError("WTLS session closed"))
+                        return
+                    frame = decode_obj(record)
+                else:
+                    self._conn.send(encode_frame(request))
+                    while not self._frames:
+                        chunk = yield self._conn.recv()
+                        if chunk == b"":
+                            result.fail(
+                                ConnectionError("WSP session closed"))
+                            return
+                        self._frames.extend(self._reader.feed(chunk))
+                    frame = self._frames.pop(0)
+                result.succeed(MiddlewareResponse(
+                    status=frame.get("status", 0),
+                    content_type=frame.get("content_type", ""),
+                    body=frame.get("body", b""),
+                    meta=frame.get("meta", {}),
+                ))
+            except SecurityError as exc:
+                result.fail(exc)
+            finally:
+                self._mutex.release(grant)
+
+        self.sim.spawn(exchange(self.sim), name="wap-get")
+        return result
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None

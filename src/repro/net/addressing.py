@@ -1,0 +1,118 @@
+"""IPv4-style addressing: addresses, subnets, and allocators.
+
+Addresses are modelled as 32-bit integers with the familiar dotted-quad
+rendering.  The stack only needs prefix matching and allocation, not the
+full RFC corpus, but the semantics here are the real ones so Mobile IP's
+"home network vs foreign network" logic behaves authentically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+__all__ = ["IPAddress", "Subnet", "AddressAllocator"]
+
+
+@dataclass(frozen=True, order=True)
+class IPAddress:
+    """A 32-bit network address."""
+
+    value: int
+
+    def __post_init__(self):
+        if not 0 <= self.value <= 0xFFFFFFFF:
+            raise ValueError(f"address out of 32-bit range: {self.value}")
+
+    @staticmethod
+    def parse(text: str) -> "IPAddress":
+        parts = text.split(".")
+        if len(parts) != 4:
+            raise ValueError(f"malformed address: {text!r}")
+        value = 0
+        for part in parts:
+            octet = int(part)
+            if not 0 <= octet <= 255:
+                raise ValueError(f"octet out of range in {text!r}")
+            value = (value << 8) | octet
+        return IPAddress(value)
+
+    def __str__(self) -> str:
+        v = self.value
+        return f"{(v >> 24) & 255}.{(v >> 16) & 255}.{(v >> 8) & 255}.{v & 255}"
+
+    def __repr__(self) -> str:
+        return f"IPAddress({str(self)!r})"
+
+
+@dataclass(frozen=True)
+class Subnet:
+    """A network prefix: base address + prefix length."""
+
+    network: IPAddress
+    prefix_len: int
+
+    def __post_init__(self):
+        if not 0 <= self.prefix_len <= 32:
+            raise ValueError(f"prefix length out of range: {self.prefix_len}")
+        if self.network.value & ~self.mask:
+            raise ValueError(
+                f"host bits set in network address {self.network}/{self.prefix_len}"
+            )
+
+    @staticmethod
+    def parse(text: str) -> "Subnet":
+        addr, _, plen = text.partition("/")
+        if not plen:
+            raise ValueError(f"missing prefix length in {text!r}")
+        return Subnet(IPAddress.parse(addr), int(plen))
+
+    @property
+    def mask(self) -> int:
+        if self.prefix_len == 0:
+            return 0
+        return (0xFFFFFFFF << (32 - self.prefix_len)) & 0xFFFFFFFF
+
+    def contains(self, address: IPAddress) -> bool:
+        return (address.value & self.mask) == self.network.value
+
+    @property
+    def size(self) -> int:
+        return 1 << (32 - self.prefix_len)
+
+    def hosts(self) -> Iterator[IPAddress]:
+        """Usable host addresses (skips network and broadcast for /30 and wider)."""
+        if self.prefix_len >= 31:
+            for offset in range(self.size):
+                yield IPAddress(self.network.value + offset)
+            return
+        for offset in range(1, self.size - 1):
+            yield IPAddress(self.network.value + offset)
+
+    def __str__(self) -> str:
+        return f"{self.network}/{self.prefix_len}"
+
+
+class AddressAllocator:
+    """Hands out unused host addresses from a subnet (a toy DHCP)."""
+
+    def __init__(self, subnet: Subnet):
+        self.subnet = subnet
+        self._cursor = subnet.hosts()
+        self._allocated: set[IPAddress] = set()
+
+    def allocate(self) -> IPAddress:
+        for address in self._cursor:
+            if address not in self._allocated:
+                self._allocated.add(address)
+                return address
+        raise RuntimeError(f"subnet {self.subnet} exhausted")
+
+    def reserve(self, address: IPAddress) -> None:
+        """Mark a specific address as in use (e.g. a router's)."""
+        if not self.subnet.contains(address):
+            raise ValueError(f"{address} not in {self.subnet}")
+        self._allocated.add(address)
+
+    def release(self, address: IPAddress) -> None:
+        self._allocated.discard(address)

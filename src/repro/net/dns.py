@@ -1,0 +1,99 @@
+"""Name resolution: a small DNS.
+
+Hosts in examples and benchmarks are addressed by name
+("shop.example.com") rather than raw addresses.  Resolution is served
+either from a local registry (zero-cost, the default) or over UDP from
+a name-server node, which adds the realistic extra round trip that WAP
+gateway requests pay.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..sim import Event
+from .addressing import IPAddress
+from .node import Node
+from .udp import UDPStack
+
+__all__ = ["NameRegistry", "DNSServer", "DNSResolver", "DNS_PORT"]
+
+DNS_PORT = 53
+
+
+class NameRegistry:
+    """Authoritative name -> address map."""
+
+    def __init__(self):
+        self._records: dict[str, IPAddress] = {}
+
+    def register(self, name: str, address: IPAddress) -> None:
+        if not name:
+            raise ValueError("empty DNS name")
+        self._records[name.lower()] = address
+
+    def lookup(self, name: str) -> Optional[IPAddress]:
+        return self._records.get(name.lower())
+
+    def unregister(self, name: str) -> None:
+        self._records.pop(name.lower(), None)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+
+class DNSServer:
+    """Answers name queries over UDP from a registry."""
+
+    def __init__(self, node: Node, registry: NameRegistry,
+                 udp: Optional[UDPStack] = None):
+        self.node = node
+        self.registry = registry
+        self.udp = udp or UDPStack(node)
+        self._sock = self.udp.bind(DNS_PORT)
+        node.sim.spawn(self._serve(), name=f"dns@{node.name}")
+
+    def _serve(self):
+        while True:
+            query, src, src_port = yield self._sock.recv()
+            answer = self.registry.lookup(str(query))
+            self._sock.sendto(answer, src, src_port, data_size=32)
+
+
+class DNSResolver:
+    """Client-side resolver with a positive cache."""
+
+    def __init__(self, node: Node, server_address: IPAddress,
+                 udp: Optional[UDPStack] = None, timeout: float = 3.0):
+        self.node = node
+        self.server_address = server_address
+        self.udp = udp or UDPStack(node)
+        self.timeout = timeout
+        self.cache: dict[str, IPAddress] = {}
+
+    def resolve(self, name: str) -> Event:
+        """Event yielding the IPAddress or None."""
+        sim = self.node.sim
+        result = sim.event()
+        cached = self.cache.get(name.lower())
+        if cached is not None:
+            result.succeed(cached)
+            return result
+
+        def query(env):
+            sock = self.udp.bind()
+            try:
+                sock.sendto(name, self.server_address, DNS_PORT, data_size=32)
+                reply = yield sock.recv_with_timeout(self.timeout)
+            finally:
+                sock.close()
+            if reply is None:
+                result.succeed(None)
+                return
+            answer, _, _ = reply
+            if answer is not None:
+                self.cache[name.lower()] = answer
+            result.succeed(answer)
+
+        sim.spawn(query(sim), name="dns-resolve")
+        return result

@@ -1,0 +1,175 @@
+"""Point-to-point links with bandwidth, propagation delay, loss and queuing.
+
+A :class:`Link` is full duplex: each direction has its own FIFO transmit
+queue and its own transmitter process.  Serialization time is
+``size * 8 / bandwidth``; after serialization the packet propagates for
+``delay`` seconds and is handed to the remote interface's node.
+
+Loss is Bernoulli per packet, drawn from a named random stream so runs
+are reproducible.  A full transmit queue drops arriving packets
+(tail-drop), which is what gives TCP its congestion signal.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from ..sim import Counter, RandomStream, Simulator, Store
+from .packet import Packet
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .node import Interface
+
+__all__ = ["Link", "LinkEnd"]
+
+
+class LinkEnd:
+    """One direction of a link: queue + transmitter process."""
+
+    def __init__(self, link: "Link", sim: Simulator, queue_capacity: int):
+        self.link = link
+        self.sim = sim
+        self.queue: Store = Store(sim, capacity=queue_capacity)
+        self.peer_iface: Optional["Interface"] = None
+        sim.spawn(self._transmitter(), name=f"{link.name}-tx")
+
+    def enqueue(self, packet: Packet) -> bool:
+        """Queue a packet for transmission; False if tail-dropped."""
+        accepted = self.queue.try_put(packet)
+        if not accepted:
+            self.link.stats.incr("queue_drops")
+        return accepted
+
+    def _transmitter(self):
+        sim = self.sim
+        while True:
+            packet = yield self.queue.get()
+            attempts = 0
+            while True:
+                attempts += 1
+                rate = self.link.transmit_rate(self)
+                if rate <= 0:
+                    self.link.stats.incr("no_signal_drops")
+                    break
+                grant = self.link.request_airtime()
+                if grant is not None:
+                    yield grant
+                yield sim.timeout(packet.size * 8 / rate)
+                if grant is not None:
+                    self.link.airtime.release(grant)
+                if self.link.is_down:
+                    self.link.stats.incr("down_drops")
+                    break
+                if self.link.frame_delivered(self, packet):
+                    self.link.stats.incr("delivered")
+                    self.link.stats.incr("bytes_delivered", packet.size)
+                    sim.spawn(self._propagate(packet),
+                              name=f"{self.link.name}-prop")
+                    break
+                self.link.stats.incr("frame_errors")
+                if attempts > self.link.retry_limit:
+                    self.link.stats.incr("loss_drops")
+                    break
+
+    def _propagate(self, packet: Packet):
+        yield self.sim.timeout(self.link.delay)
+        if self.peer_iface is not None and not self.link.is_down:
+            self.peer_iface.deliver(packet)
+
+
+class Link:
+    """A full-duplex point-to-point link between two interfaces."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str = "link",
+        bandwidth_bps: float = 10_000_000.0,
+        delay: float = 0.001,
+        loss_rate: float = 0.0,
+        queue_capacity: int = 64,
+        loss_stream: Optional[RandomStream] = None,
+    ):
+        if bandwidth_bps <= 0:
+            raise ValueError(f"bandwidth must be positive: {bandwidth_bps}")
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay}")
+        if not 0.0 <= loss_rate <= 1.0:
+            raise ValueError(f"loss rate out of [0,1]: {loss_rate}")
+        if loss_rate > 0 and loss_stream is None:
+            raise ValueError("loss_rate > 0 requires a loss_stream")
+        self.sim = sim
+        self.name = name
+        self.bandwidth_bps = bandwidth_bps
+        self.delay = delay
+        self.loss_rate = loss_rate
+        self._loss_stream = loss_stream
+        self.is_down = False
+        self.stats = Counter()
+        # Wired links are full duplex with no local retries; wireless
+        # subclasses share one airtime resource and retry lost frames.
+        self.airtime = None
+        self.retry_limit = 0
+        self.ends = (
+            LinkEnd(self, sim, queue_capacity),
+            LinkEnd(self, sim, queue_capacity),
+        )
+        self._attached: list[Optional["Interface"]] = [None, None]
+
+    def attach(self, iface: "Interface") -> int:
+        """Attach an interface to the next free end; returns the end index."""
+        for idx in (0, 1):
+            if self._attached[idx] is None:
+                self._attached[idx] = iface
+                # Traffic entering end idx exits to the *other* side's iface.
+                self.ends[idx].peer_iface = None  # set when both attached
+                self._rewire()
+                return idx
+        raise RuntimeError(f"link {self.name} already has two interfaces")
+
+    def _rewire(self) -> None:
+        self.ends[0].peer_iface = self._attached[1]
+        self.ends[1].peer_iface = self._attached[0]
+
+    def transmit(self, iface: "Interface", packet: Packet) -> bool:
+        """Entry point used by an attached interface."""
+        try:
+            idx = self._attached.index(iface)
+        except ValueError:
+            raise RuntimeError(f"{iface} is not attached to link {self.name}")
+        return self.ends[idx].enqueue(packet)
+
+    # -- medium behaviour (overridden by wireless links) -----------------
+    def request_airtime(self):
+        """Acquire the shared medium, if any (None = dedicated medium).
+
+        Wireless subclasses with QoS override this to pass a priority.
+        """
+        if self.airtime is None:
+            return None
+        return self.airtime.request()
+
+    def transmit_rate(self, end: LinkEnd) -> float:
+        """Bit rate for the next frame on this end (0 = no signal)."""
+        return self.bandwidth_bps
+
+    def frame_delivered(self, end: LinkEnd, packet: Packet) -> bool:
+        """Whether one frame transmission attempt succeeds."""
+        if self._loss_stream is not None and \
+                self._loss_stream.chance(self.loss_rate):
+            return False
+        return True
+
+    def other_iface(self, iface: "Interface") -> Optional["Interface"]:
+        if iface is self._attached[0]:
+            return self._attached[1]
+        if iface is self._attached[1]:
+            return self._attached[0]
+        raise RuntimeError(f"{iface} is not attached to link {self.name}")
+
+    # -- fault injection -------------------------------------------------
+    def take_down(self) -> None:
+        self.is_down = True
+
+    def bring_up(self) -> None:
+        self.is_down = False

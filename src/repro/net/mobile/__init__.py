@@ -1,0 +1,32 @@
+"""Mobility extensions to the wired stack (paper §5.2).
+
+Mobile IP (home/foreign agents, tunnelling, registration) plus the
+three wireless TCP enhancements the paper surveys: split connection
+(I-TCP), snoop packet caching, and fast retransmission after handoff.
+"""
+
+from .mobileip import (
+    MOBILE_IP_PORT,
+    ForeignAgent,
+    HomeAgent,
+    MobileIPClient,
+    RegistrationReply,
+    RegistrationRequest,
+    RoamingManager,
+)
+from .tcp_freeze import HandoffNotifier
+from .tcp_snoop import SnoopAgent
+from .tcp_split import SplitRelay
+
+__all__ = [
+    "MOBILE_IP_PORT",
+    "ForeignAgent",
+    "HomeAgent",
+    "MobileIPClient",
+    "RegistrationReply",
+    "RegistrationRequest",
+    "RoamingManager",
+    "HandoffNotifier",
+    "SnoopAgent",
+    "SplitRelay",
+]

@@ -1,0 +1,288 @@
+"""Network nodes: interfaces, IP forwarding, protocol demux, topologies.
+
+A :class:`Node` is anything with an IP stack — a desktop, a router, a
+WAP gateway, a web server host, or (via subclassing in
+:mod:`repro.devices`) a mobile station.  Nodes receive packets on
+interfaces, deliver locally when the destination matches one of their
+addresses, and otherwise forward using their routing table.
+
+:class:`Network` is the topology container: it owns nodes and links,
+allocates addresses, and recomputes static routes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..sim import Counter, Simulator, Store, Trace
+from .addressing import AddressAllocator, IPAddress, Subnet
+from .link import Link
+from .packet import PROTO_IPIP, Packet
+from .routing import Route, RoutingTable, compute_static_routes
+
+__all__ = ["Interface", "Node", "Network"]
+
+ProtocolHandler = Callable[["Node", Packet], None]
+
+
+class Interface:
+    """A network attachment point with an address on a subnet."""
+
+    def __init__(self, node: "Node", name: str,
+                 address: Optional[IPAddress] = None,
+                 subnet: Optional[Subnet] = None):
+        self.node = node
+        self.name = name
+        self.address = address
+        self.subnet = subnet
+        self.link: Optional[Link] = None
+        self.is_up = True
+
+    def attach(self, link: Link) -> None:
+        if self.link is not None:
+            raise RuntimeError(f"interface {self} already attached")
+        self.link = link
+        link.attach(self)
+
+    def detach(self) -> None:
+        """Administratively detach (used for handoff simulations)."""
+        self.is_up = False
+
+    def reattach(self) -> None:
+        self.is_up = True
+
+    def peer(self) -> Optional["Interface"]:
+        """The interface at the other end of the link, if any."""
+        if self.link is None:
+            return None
+        return self.link.other_iface(self)
+
+    def send(self, packet: Packet) -> bool:
+        """Hand a packet to the attached medium."""
+        if not self.is_up or self.link is None:
+            self.node.stats.incr("iface_down_drops")
+            return False
+        return self.link.transmit(self, packet)
+
+    def deliver(self, packet: Packet) -> None:
+        """Called by the medium when a packet arrives here."""
+        if self.is_up:
+            self.node.enqueue_rx(packet, self)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Interface {self.node.name}:{self.name} {self.address}>"
+
+
+class Node:
+    """An IP host/router."""
+
+    def __init__(self, sim: Simulator, name: str, forwarding: bool = False):
+        self.sim = sim
+        self.name = name
+        self.forwarding = forwarding
+        self.interfaces: list[Interface] = []
+        self.routing_table = RoutingTable()
+        # Stub subnets this node claims reachability for (e.g. an access
+        # point's wireless subnet); propagated by compute_static_routes.
+        self.announced_subnets: list[Subnet] = []
+        self.stats = Counter()
+        self.trace = Trace(enabled=False)
+        self._handlers: dict[str, ProtocolHandler] = {}
+        self._rx: Store = Store(sim)
+        # Hooks that see every packet before normal processing; used by
+        # snoop agents and foreign agents.  A hook returning True consumes
+        # the packet.
+        self.rx_taps: list[Callable[[Packet, Interface], bool]] = []
+        sim.spawn(self._dispatcher(), name=f"{name}-rx")
+
+    # -- configuration -----------------------------------------------------
+    def add_interface(self, name: str, address: Optional[IPAddress] = None,
+                      subnet: Optional[Subnet] = None) -> Interface:
+        iface = Interface(self, name, address=address, subnet=subnet)
+        self.interfaces.append(iface)
+        return iface
+
+    def assign_address(self, address: IPAddress) -> Interface:
+        """Give the node an address on a virtual (link-less) interface.
+
+        Used for provisioning mobile stations: the address stays fixed
+        while radio attachments come and go (the Mobile IP model).
+        """
+        iface = self.add_interface(
+            name=f"lo{len(self.interfaces)}", address=address
+        )
+        return iface
+
+    def iface(self, name: str) -> Interface:
+        for iface in self.interfaces:
+            if iface.name == name:
+                return iface
+        raise KeyError(f"no interface {name!r} on node {self.name}")
+
+    def register_protocol(self, proto: str, handler: ProtocolHandler) -> None:
+        """Install the upper-layer handler for a protocol tag."""
+        self._handlers[proto] = handler
+
+    @property
+    def addresses(self) -> list[IPAddress]:
+        return [i.address for i in self.interfaces if i.address is not None]
+
+    def owns_address(self, address: IPAddress) -> bool:
+        return address in self.addresses
+
+    @property
+    def primary_address(self) -> IPAddress:
+        for iface in self.interfaces:
+            if iface.address is not None:
+                return iface.address
+        raise RuntimeError(f"node {self.name} has no address")
+
+    # -- data path -----------------------------------------------------------
+    def enqueue_rx(self, packet: Packet, iface: Interface) -> None:
+        self._rx.try_put((packet, iface))
+
+    def _dispatcher(self):
+        while True:
+            packet, iface = yield self._rx.get()
+            self._receive(packet, iface)
+
+    def _receive(self, packet: Packet, iface: Interface) -> None:
+        packet.record_hop(self.name)
+        self.trace.log(self.sim.now, "rx", node=self.name,
+                       pkt=packet.packet_id, proto=packet.proto)
+        for tap in list(self.rx_taps):
+            if tap(packet, iface):
+                return
+        if self.owns_address(packet.dst):
+            self._deliver_local(packet)
+        elif self.forwarding:
+            self.forward(packet)
+        else:
+            self.stats.incr("not_for_me_drops")
+
+    def _deliver_local(self, packet: Packet) -> None:
+        if packet.proto == PROTO_IPIP:
+            inner = packet.decapsulate()
+            self.stats.incr("decapsulated")
+            # Re-process the inner datagram as if it had just arrived.
+            if self.owns_address(inner.dst):
+                self._deliver_local(inner)
+            else:
+                self.forward(inner, force=True)
+            return
+        handler = self._handlers.get(packet.proto)
+        if handler is None:
+            self.stats.incr("no_handler_drops")
+            return
+        self.stats.incr("delivered_local")
+        handler(self, packet)
+
+    def send_ip(self, packet: Packet) -> bool:
+        """Originate a datagram from this node."""
+        packet.created_at = packet.created_at or self.sim.now
+        if self.owns_address(packet.dst):
+            # Loopback delivery.
+            self._deliver_local(packet)
+            return True
+        return self.forward(packet, originating=True)
+
+    def forward(self, packet: Packet, originating: bool = False,
+                force: bool = False) -> bool:
+        """Route a packet toward its destination."""
+        if not originating and not force:
+            if not packet.decrement_ttl():
+                self.stats.incr("ttl_drops")
+                return False
+        route = self.routing_table.lookup(packet.dst)
+        if route is None:
+            self.stats.incr("no_route_drops")
+            return False
+        iface = self.iface(route.iface_name)
+        self.trace.log(self.sim.now, "tx", node=self.name,
+                       pkt=packet.packet_id, via=iface.name)
+        ok = iface.send(packet)
+        if ok:
+            self.stats.incr("forwarded")
+        else:
+            self.stats.incr("tx_drops")
+        return ok
+
+
+class Network:
+    """Topology container: nodes, links, address allocation, routing."""
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self.nodes: list[Node] = []
+        self.links: list[Link] = []
+        self._subnet_allocators: dict[Subnet, AddressAllocator] = {}
+        self._names: set[str] = set()
+
+    def add_node(self, name: str, forwarding: bool = False) -> Node:
+        if name in self._names:
+            raise ValueError(f"duplicate node name {name!r}")
+        self._names.add(name)
+        node = Node(self.sim, name, forwarding=forwarding)
+        self.nodes.append(node)
+        return node
+
+    def adopt(self, node: Node) -> Node:
+        """Register an externally-constructed node (e.g. a MobileStation)."""
+        if node.name in self._names:
+            raise ValueError(f"duplicate node name {node.name!r}")
+        self._names.add(node.name)
+        self.nodes.append(node)
+        return node
+
+    def node(self, name: str) -> Node:
+        for node in self.nodes:
+            if node.name == name:
+                return node
+        raise KeyError(f"no node {name!r}")
+
+    def _allocator(self, subnet: Subnet) -> AddressAllocator:
+        if subnet not in self._subnet_allocators:
+            self._subnet_allocators[subnet] = AddressAllocator(subnet)
+        return self._subnet_allocators[subnet]
+
+    def connect(
+        self,
+        a: Node,
+        b: Node,
+        subnet: Subnet,
+        bandwidth_bps: float = 10_000_000.0,
+        delay: float = 0.001,
+        loss_rate: float = 0.0,
+        loss_stream=None,
+        queue_capacity: int = 64,
+    ) -> Link:
+        """Create a link between two nodes and address both ends."""
+        allocator = self._allocator(subnet)
+        link = Link(
+            self.sim,
+            name=f"{a.name}<->{b.name}",
+            bandwidth_bps=bandwidth_bps,
+            delay=delay,
+            loss_rate=loss_rate,
+            loss_stream=loss_stream,
+            queue_capacity=queue_capacity,
+        )
+        for node in (a, b):
+            iface = node.add_interface(
+                name=f"eth{len(node.interfaces)}",
+                address=allocator.allocate(),
+                subnet=subnet,
+            )
+            iface.attach(link)
+        self.links.append(link)
+        return link
+
+    def build_routes(self) -> None:
+        """(Re)compute static shortest-path routes for every node."""
+        compute_static_routes(self)
+
+    def find_node_by_address(self, address: IPAddress) -> Optional[Node]:
+        for node in self.nodes:
+            if node.owns_address(address):
+                return node
+        return None

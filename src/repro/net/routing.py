@@ -1,0 +1,164 @@
+"""Routing: longest-prefix-match tables and static shortest-path fill.
+
+Each node carries a :class:`RoutingTable`.  The :func:`compute_static_routes`
+helper runs Dijkstra over a :class:`repro.net.node.Network` topology and
+installs host routes, which is all a laptop-scale simulation needs; the
+point of this module is that forwarding decisions are *data*, so Mobile
+IP can override them (host routes for care-of addresses) exactly the way
+real stacks do.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from .addressing import IPAddress, Subnet
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .node import Interface, Network, Node
+
+__all__ = ["Route", "RoutingTable", "compute_static_routes"]
+
+
+@dataclass
+class Route:
+    """One routing entry.
+
+    ``next_hop`` of None means the destination is directly attached on
+    ``iface`` (deliver without further routing).
+    """
+
+    subnet: Subnet
+    iface_name: str
+    next_hop: Optional[IPAddress] = None
+    metric: int = 1
+
+    def __repr__(self) -> str:  # pragma: no cover
+        via = f" via {self.next_hop}" if self.next_hop else " direct"
+        return f"<Route {self.subnet} dev {self.iface_name}{via}>"
+
+
+class RoutingTable:
+    """Longest-prefix-match over a list of routes."""
+
+    def __init__(self):
+        self._routes: list[Route] = []
+
+    def add(self, route: Route) -> None:
+        # Replace an existing route for the identical prefix.
+        self._routes = [
+            r for r in self._routes if r.subnet != route.subnet
+        ]
+        self._routes.append(route)
+        self._routes.sort(key=lambda r: -r.subnet.prefix_len)
+
+    def remove(self, subnet: Subnet) -> bool:
+        before = len(self._routes)
+        self._routes = [r for r in self._routes if r.subnet != subnet]
+        return len(self._routes) != before
+
+    def lookup(self, destination: IPAddress) -> Optional[Route]:
+        """Most specific matching route, or None."""
+        for route in self._routes:  # sorted by descending prefix length
+            if route.subnet.contains(destination):
+                return route
+        return None
+
+    def routes(self) -> list[Route]:
+        return list(self._routes)
+
+    def clear(self) -> None:
+        self._routes.clear()
+
+
+def compute_static_routes(network: "Network") -> None:
+    """Populate every node's routing table with shortest-path routes.
+
+    Runs Dijkstra from each node over the link topology (metric = 1 per
+    link, ties broken by insertion order) and installs:
+
+    * a *direct* route for every attached subnet, and
+    * a /32 host route toward every remote interface address.
+    """
+    for node in network.nodes:
+        node.routing_table.clear()
+        # Direct subnets first.
+        for iface in node.interfaces:
+            if iface.subnet is not None:
+                node.routing_table.add(
+                    Route(subnet=iface.subnet, iface_name=iface.name)
+                )
+
+    for source in network.nodes:
+        dist, first_hop = _dijkstra(network, source)
+        for target in network.nodes:
+            if target is source or target not in first_hop:
+                continue
+            out_iface, gateway = first_hop[target]
+            for announced in target.announced_subnets:
+                existing = source.routing_table.lookup(announced.network)
+                if existing is not None and \
+                        existing.subnet.prefix_len >= announced.prefix_len:
+                    continue
+                source.routing_table.add(
+                    Route(
+                        subnet=announced,
+                        iface_name=out_iface.name,
+                        next_hop=gateway,
+                        metric=dist[target],
+                    )
+                )
+            for iface in target.interfaces:
+                if iface.address is None:
+                    continue
+                host_net = Subnet(iface.address, 32)
+                existing = source.routing_table.lookup(iface.address)
+                if existing is not None and existing.subnet.prefix_len == 32:
+                    continue
+                source.routing_table.add(
+                    Route(
+                        subnet=host_net,
+                        iface_name=out_iface.name,
+                        next_hop=gateway,
+                        metric=dist[target],
+                    )
+                )
+
+
+def _dijkstra(network: "Network", source: "Node"):
+    """Shortest paths; returns (distance, first_hop) maps.
+
+    ``first_hop[node]`` is ``(source_iface, gateway_address)`` for the
+    first link on the path from ``source`` to ``node``.
+    """
+    dist: dict = {source: 0}
+    first_hop: dict = {}
+    counter = 0
+    heap: list[tuple[int, int, "Node", Optional[tuple]]] = [(0, counter, source, None)]
+    visited: set = set()
+    while heap:
+        d, _, node, hop = heapq.heappop(heap)
+        if node in visited:
+            continue
+        visited.add(node)
+        if hop is not None:
+            first_hop[node] = hop
+        for iface in node.interfaces:
+            if iface.link is None or not iface.is_up or iface.link.is_down:
+                continue
+            peer = iface.peer()
+            if peer is None or peer.node is None or not peer.is_up:
+                continue
+            neighbour = peer.node
+            nd = d + 1
+            if neighbour not in dist or nd < dist[neighbour]:
+                dist[neighbour] = nd
+                if node is source:
+                    next_hop_info = (iface, peer.address)
+                else:
+                    next_hop_info = hop
+                counter += 1
+                heapq.heappush(heap, (nd, counter, neighbour, next_hop_info))
+    return dist, first_hop

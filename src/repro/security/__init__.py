@@ -1,0 +1,33 @@
+"""Mobile security & payment (paper §8): crypto, WTLS channel, auth, payment."""
+
+from .auth import AuthenticationError, TokenIssuer, UserStore
+from .crypto import (
+    derive_key,
+    dh_private_key,
+    dh_public_key,
+    dh_shared_secret,
+    keystream_xor,
+    mac,
+    verify_mac,
+)
+from .payment import Authorization, PaymentError, PaymentOrder, PaymentProcessor
+from .wtls import SecureChannel, SecurityError
+
+__all__ = [
+    "AuthenticationError",
+    "TokenIssuer",
+    "UserStore",
+    "derive_key",
+    "dh_private_key",
+    "dh_public_key",
+    "dh_shared_secret",
+    "keystream_xor",
+    "mac",
+    "verify_mac",
+    "Authorization",
+    "PaymentError",
+    "PaymentOrder",
+    "PaymentProcessor",
+    "SecureChannel",
+    "SecurityError",
+]

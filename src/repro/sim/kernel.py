@@ -1,0 +1,366 @@
+"""Discrete-event simulation kernel.
+
+Every subsystem in this reproduction (networks, radios, devices, servers)
+runs on top of this kernel.  The design follows the classic
+process-interaction style: a *process* is a Python generator that yields
+:class:`Event` objects; the :class:`Simulator` advances virtual time and
+resumes processes when the events they wait on fire.
+
+The kernel is intentionally self-contained (no third-party dependency)
+so the rest of the library has a single, fully-controlled notion of
+time, scheduling and interruption.
+
+Example
+-------
+>>> sim = Simulator()
+>>> log = []
+>>> def worker(env):
+...     yield env.timeout(5)
+...     log.append(env.now)
+>>> _ = sim.spawn(worker(sim))
+>>> sim.run()
+>>> log
+[5.0]
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "Event",
+    "Timeout",
+    "Process",
+    "Interrupt",
+    "SimulationError",
+    "Simulator",
+    "AllOf",
+    "AnyOf",
+]
+
+
+class SimulationError(Exception):
+    """Raised for kernel-level misuse (e.g. running a finished simulator)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process when another process interrupts it.
+
+    The ``cause`` attribute carries the value passed to
+    :meth:`Process.interrupt`.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence in virtual time.
+
+    An event starts *pending*, may be *triggered* with a value (success)
+    or *failed* with an exception, and once processed resumes every
+    process that was waiting on it.
+    """
+
+    PENDING = "pending"
+    TRIGGERED = "triggered"
+    PROCESSED = "processed"
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.callbacks: list[Callable[["Event"], None]] = []
+        self._value: Any = None
+        self._ok: Optional[bool] = None
+        self._state = Event.PENDING
+
+    # -- state inspection ------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        return self._state != Event.PENDING
+
+    @property
+    def processed(self) -> bool:
+        return self._state == Event.PROCESSED
+
+    @property
+    def ok(self) -> Optional[bool]:
+        """True if succeeded, False if failed, None while pending."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if self._state == Event.PENDING:
+            raise SimulationError("event value read before trigger")
+        return self._value
+
+    # -- triggering ------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self.triggered:
+            raise SimulationError("event already triggered")
+        self._ok = True
+        self._value = value
+        self._state = Event.TRIGGERED
+        self.sim._schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event as failed; waiters receive ``exception``."""
+        if self.triggered:
+            raise SimulationError("event already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._ok = False
+        self._value = exception
+        self._state = Event.TRIGGERED
+        self.sim._schedule(self)
+        return self
+
+    def _mark_processed(self) -> None:
+        self._state = Event.PROCESSED
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self._state} at t={self.sim.now}>"
+
+
+class Timeout(Event):
+    """An event that fires after a fixed virtual-time delay."""
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        super().__init__(sim)
+        self.delay = float(delay)
+        self._ok = True
+        self._value = value
+        self._state = Event.TRIGGERED
+        sim._schedule(self, delay=self.delay)
+
+
+class Process(Event):
+    """A running generator; also an event that fires when it terminates.
+
+    The generator yields :class:`Event` instances.  When a yielded event
+    succeeds, the event's value is sent back into the generator; when it
+    fails, the exception is thrown into the generator.
+    """
+
+    def __init__(self, sim: "Simulator", generator: Generator, name: str = ""):
+        super().__init__(sim)
+        if not hasattr(generator, "send"):
+            raise TypeError("Process requires a generator")
+        self.generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._target: Optional[Event] = None
+        # Bootstrap: resume the process at the current time.
+        init = Event(sim)
+        init._ok = True
+        init._state = Event.TRIGGERED
+        init.callbacks.append(self._resume)
+        sim._schedule(init)
+
+    @property
+    def is_alive(self) -> bool:
+        return self._state == Event.PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if not self.is_alive:
+            return
+        err = Event(self.sim)
+        err._ok = False
+        err._value = Interrupt(cause)
+        err._state = Event.TRIGGERED
+        err.callbacks.append(self._resume)
+        # Detach from whatever the process was waiting on.
+        target = self._target
+        if target is not None and self._resume in target.callbacks:
+            target.callbacks.remove(self._resume)
+        self._target = None
+        self.sim._schedule(err, priority=0)
+
+    def _resume(self, event: Event) -> None:
+        self._target = None
+        self.sim._active_process = self
+        try:
+            if event._ok:
+                result = self.generator.send(event._value)
+            else:
+                result = self.generator.throw(event._value)
+        except StopIteration as stop:
+            self.sim._active_process = None
+            if not self.triggered:
+                self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            self.sim._active_process = None
+            if not self.triggered:
+                if self.sim.strict:
+                    raise
+                self.fail(exc)
+                return
+            raise
+        self.sim._active_process = None
+        if not isinstance(result, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded {result!r}, expected an Event"
+            )
+        if result.sim is not self.sim:
+            raise SimulationError("process yielded an event from another simulator")
+        self._target = result
+        if result._state == Event.PROCESSED:
+            # Already-processed events resume the process immediately.
+            relay = Event(self.sim)
+            relay._ok = result._ok
+            relay._value = result._value
+            relay._state = Event.TRIGGERED
+            relay.callbacks.append(self._resume)
+            self.sim._schedule(relay)
+        else:
+            result.callbacks.append(self._resume)
+
+
+class _Condition(Event):
+    """Base for AllOf/AnyOf composite events."""
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        self.events = list(events)
+        for ev in self.events:
+            if ev.sim is not sim:
+                raise SimulationError("condition mixes events from different sims")
+        self._pending = sum(1 for ev in self.events if not ev.processed)
+        if self._check_immediate():
+            return
+        for ev in self.events:
+            if not ev.processed:
+                ev.callbacks.append(self._on_child)
+
+    def _check_immediate(self) -> bool:
+        raise NotImplementedError
+
+    def _on_child(self, event: Event) -> None:
+        raise NotImplementedError
+
+    def _collect(self) -> dict[Event, Any]:
+        return {ev: ev._value for ev in self.events if ev.processed and ev._ok}
+
+
+class AllOf(_Condition):
+    """Fires when every child event has fired; value maps event -> value."""
+
+    def _check_immediate(self) -> bool:
+        if self._pending == 0:
+            self.succeed(self._collect())
+            return True
+        return False
+
+    def _on_child(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            self.fail(event._value)
+            return
+        self._pending -= 1
+        if self._pending == 0:
+            self.succeed(self._collect())
+
+
+class AnyOf(_Condition):
+    """Fires when the first child event fires; value maps event -> value."""
+
+    def _check_immediate(self) -> bool:
+        done = [ev for ev in self.events if ev.processed]
+        if done:
+            first = done[0]
+            if first._ok:
+                self.succeed(self._collect())
+            else:
+                self.fail(first._value)
+            return True
+        if not self.events:
+            self.succeed({})
+            return True
+        return False
+
+    def _on_child(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if event._ok:
+            self.succeed(self._collect())
+        else:
+            self.fail(event._value)
+
+
+class Simulator:
+    """The event loop: a priority queue of (time, priority, seq, event).
+
+    ``strict`` controls error propagation from processes nobody waits
+    on: when True (the default) an uncaught exception inside a process
+    aborts :meth:`run`, which is almost always what a test wants.
+    """
+
+    def __init__(self, strict: bool = True):
+        self.now: float = 0.0
+        self.strict = strict
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._seq = itertools.count()
+        self._active_process: Optional[Process] = None
+
+    # -- factories ---------------------------------------------------------
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def spawn(self, generator: Generator, name: str = "") -> Process:
+        """Start a new process from ``generator``."""
+        return Process(self, generator, name=name)
+
+    # Alias familiar to SimPy users.
+    process = spawn
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- scheduling ----------------------------------------------------------
+    def _schedule(self, event: Event, delay: float = 0.0, priority: int = 1) -> None:
+        heapq.heappush(
+            self._queue, (self.now + delay, priority, next(self._seq), event)
+        )
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or +inf if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event."""
+        if not self._queue:
+            raise SimulationError("step() on an empty schedule")
+        time, _, _, event = heapq.heappop(self._queue)
+        if time < self.now:
+            raise SimulationError("time went backwards")
+        self.now = time
+        callbacks, event.callbacks = event.callbacks, []
+        event._mark_processed()
+        for callback in callbacks:
+            callback(event)
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the schedule drains or ``until`` is reached."""
+        if until is not None and until < self.now:
+            raise SimulationError(f"until={until} is in the past (now={self.now})")
+        while self._queue:
+            if until is not None and self._queue[0][0] > until:
+                self.now = until
+                return
+            self.step()
+        if until is not None:
+            self.now = until

@@ -1,0 +1,160 @@
+"""Measurement utilities: counters, time series, latency statistics.
+
+Benchmarks and tests observe the simulated system exclusively through
+these collectors, which keeps instrumentation out of the protocol code.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+__all__ = ["Counter", "TimeSeries", "StatSummary", "LatencyRecorder", "Trace"]
+
+
+class Counter:
+    """A monotonically growing named counter set."""
+
+    def __init__(self):
+        self._counts: dict[str, int] = {}
+
+    def incr(self, name: str, amount: int = 1) -> None:
+        self._counts[name] = self._counts.get(name, 0) + amount
+
+    def get(self, name: str) -> int:
+        return self._counts.get(name, 0)
+
+    def as_dict(self) -> dict[str, int]:
+        return dict(self._counts)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Counter({self._counts!r})"
+
+
+class TimeSeries:
+    """(time, value) samples with integration helpers."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.times: list[float] = []
+        self.values: list[float] = []
+
+    def record(self, time: float, value: float) -> None:
+        if self.times and time < self.times[-1]:
+            raise ValueError("time series must be recorded in time order")
+        self.times.append(time)
+        self.values.append(value)
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def mean(self) -> float:
+        if not self.values:
+            return 0.0
+        return sum(self.values) / len(self.values)
+
+    def rate(self) -> float:
+        """Total value divided by the observed time span."""
+        if len(self.times) < 2:
+            return 0.0
+        span = self.times[-1] - self.times[0]
+        if span <= 0:
+            return 0.0
+        return sum(self.values) / span
+
+    def time_weighted_mean(self) -> float:
+        """Mean of a step function sampled at change points."""
+        if len(self.times) < 2:
+            return self.mean()
+        area = 0.0
+        for i in range(len(self.times) - 1):
+            area += self.values[i] * (self.times[i + 1] - self.times[i])
+        span = self.times[-1] - self.times[0]
+        return area / span if span > 0 else self.mean()
+
+
+@dataclass
+class StatSummary:
+    """Summary statistics over a sample set."""
+
+    count: int
+    mean: float
+    stdev: float
+    minimum: float
+    maximum: float
+    p50: float
+    p95: float
+    p99: float
+
+    @staticmethod
+    def of(samples: list[float]) -> "StatSummary":
+        if not samples:
+            return StatSummary(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+        ordered = sorted(samples)
+        n = len(ordered)
+        mean = sum(ordered) / n
+        var = sum((x - mean) ** 2 for x in ordered) / n
+        return StatSummary(
+            count=n,
+            mean=mean,
+            stdev=math.sqrt(var),
+            minimum=ordered[0],
+            maximum=ordered[-1],
+            p50=_percentile(ordered, 0.50),
+            p95=_percentile(ordered, 0.95),
+            p99=_percentile(ordered, 0.99),
+        )
+
+
+def _percentile(ordered: list[float], q: float) -> float:
+    """Nearest-rank percentile on a pre-sorted list."""
+    if not ordered:
+        return 0.0
+    idx = max(0, min(len(ordered) - 1, math.ceil(q * len(ordered)) - 1))
+    return ordered[idx]
+
+
+class LatencyRecorder:
+    """Start/stop latency measurement keyed by an arbitrary token."""
+
+    def __init__(self):
+        self._open: dict[Any, float] = {}
+        self.samples: list[float] = []
+
+    def start(self, token: Any, now: float) -> None:
+        self._open[token] = now
+
+    def stop(self, token: Any, now: float) -> Optional[float]:
+        """Close the measurement for ``token``; returns the latency."""
+        begin = self._open.pop(token, None)
+        if begin is None:
+            return None
+        latency = now - begin
+        self.samples.append(latency)
+        return latency
+
+    @property
+    def in_flight(self) -> int:
+        return len(self._open)
+
+    def summary(self) -> StatSummary:
+        return StatSummary.of(self.samples)
+
+
+@dataclass
+class Trace:
+    """An append-only structured event log."""
+
+    entries: list[tuple[float, str, dict]] = field(default_factory=list)
+    enabled: bool = True
+
+    def log(self, time: float, kind: str, **fields: Any) -> None:
+        if self.enabled:
+            self.entries.append((time, kind, fields))
+
+    def of_kind(self, kind: str) -> list[tuple[float, str, dict]]:
+        return [e for e in self.entries if e[1] == kind]
+
+    def __len__(self) -> int:
+        return len(self.entries)

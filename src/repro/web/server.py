@@ -1,0 +1,242 @@
+"""The web server: component "Web servers" of the host computer (§7).
+
+Serves static pages and CGI programs over TCP, with sessions and an
+Apache-style worker pool (limited concurrency).  The three features
+the paper explicitly credits Apache with are all here:
+
+* "highly configurable error messages" — :meth:`WebServer.set_error_body`;
+* "DBM-based authentication databases" — :meth:`WebServer.protect`
+  (HTTP Basic auth against the host's :class:`~repro.security.auth.UserStore`);
+* "content negotiation" — :meth:`WebServer.add_page` accepts multiple
+  variants per path and serves the one matching the request's Accept
+  header.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..net.node import Node
+from ..net.tcp import TCPConnection, TCPStack, tcp_stack
+from ..sim import Counter, Resource
+from .cgi import CGIContext, CGIRegistry
+from .http import HTTPParseError, HTTPRequest, HTTPResponse, RequestParser
+from .sessions import SessionStore
+
+__all__ = ["WebServer", "DEFAULT_HTTP_PORT"]
+
+DEFAULT_HTTP_PORT = 80
+REQUEST_SERVICE_TIME = 0.001  # static-content handling cost
+
+
+class WebServer:
+    """An HTTP server bound to a node."""
+
+    def __init__(
+        self,
+        node: Node,
+        port: int = DEFAULT_HTTP_PORT,
+        tcp: Optional[TCPStack] = None,
+        workers: int = 16,
+        database=None,
+        transactions=None,
+    ):
+        self.node = node
+        self.sim = node.sim
+        self.port = port
+        self.tcp = tcp or tcp_stack(node)
+        self.cgi = CGIRegistry()
+        self.sessions = SessionStore(self.sim)
+        self.database = database
+        self.transactions = transactions
+        # Host-side services (payment processor, user store, ...) that
+        # application programs reach through ctx.server.services.
+        self.services: dict = {}
+        self.stats = Counter()
+        # Apache-style access log: (time, client, method, path, status,
+        # response bytes).
+        self.access_log: list[tuple] = []
+        self.workers = Resource(self.sim, capacity=workers)
+        # path -> list of (content_type, body) variants, in registration
+        # order (the first variant is the default).
+        self._static: dict[str, list[tuple[str, bytes]]] = {}
+        self._error_bodies: dict[int, bytes] = {}
+        # path prefix -> realm name (HTTP Basic auth).
+        self._protected: dict[str, str] = {}
+        self._listener = self.tcp.listen(port)
+        self.sim.spawn(self._accept_loop(), name=f"httpd@{node.name}")
+
+    # -- content registration -----------------------------------------------
+    def add_page(self, path: str, body, content_type: str = "text/html") \
+            -> None:
+        """Register a static page (or another variant of an existing one).
+
+        Registering several content types for one path enables content
+        negotiation: the served variant is chosen by the request's
+        Accept header, defaulting to the first registered.
+        """
+        if isinstance(body, str):
+            body = body.encode()
+        variants = self._static.setdefault(path, [])
+        variants[:] = [v for v in variants if v[0] != content_type]
+        variants.append((content_type, body))
+
+    def protect(self, path_prefix: str, realm: str = "restricted") -> None:
+        """Require HTTP Basic credentials (from services['users']) below
+        ``path_prefix`` — the paper's "DBM-based authentication
+        databases" feature."""
+        if "users" not in self.services:
+            raise RuntimeError(
+                "protect() needs a UserStore in services['users']"
+            )
+        self._protected[path_prefix] = realm
+
+    def mount(self, path: str, handler: Callable, name: str = "") -> None:
+        """Mount a CGI program."""
+        self.cgi.mount(path, handler, name=name)
+
+    def set_error_body(self, status: int, body) -> None:
+        """Configure a custom error page (the Apache feature)."""
+        if isinstance(body, str):
+            body = body.encode()
+        self._error_bodies[status] = body
+
+    # -- serving ----------------------------------------------------------
+    def _accept_loop(self):
+        while True:
+            conn = yield self._listener.accept()
+            self.stats.incr("connections")
+            self.sim.spawn(self._serve_connection(conn), name="http-conn")
+
+    def _serve_connection(self, conn: TCPConnection):
+        parser = RequestParser()
+        while True:
+            chunk = yield conn.recv()
+            if chunk == b"":
+                return
+            try:
+                requests = parser.feed(chunk)
+            except HTTPParseError:
+                self.stats.incr("parse_errors")
+                conn.send(self._finalize(HTTPResponse(
+                    400, {"content-type": "text/plain"}, b"bad request"
+                )).encode())
+                conn.close()
+                return
+            for request in requests:
+                worker = self.workers.request()
+                yield worker
+                try:
+                    response = yield from self._handle(request)
+                finally:
+                    self.workers.release(worker)
+                keep_alive = (
+                    request.headers.get("connection", "").lower()
+                    == "keep-alive"
+                )
+                if keep_alive:
+                    response.headers["connection"] = "keep-alive"
+                conn.send(self._finalize(response).encode())
+                self.stats.incr("requests")
+                self.stats.incr(f"status_{response.status}")
+                self.access_log.append((
+                    self.sim.now, str(conn.remote_addr), request.method,
+                    request.path, response.status, len(response.body),
+                ))
+                if not keep_alive:
+                    conn.close()
+                    return
+
+    def _handle(self, request: HTTPRequest):
+        yield self.sim.timeout(REQUEST_SERVICE_TIME)
+        path = request.path_only
+
+        denied = self._check_authorization(request, path)
+        if denied is not None:
+            return denied
+
+        variants = self._static.get(path)
+        if variants is not None:
+            content_type, body = _negotiate(
+                variants, request.headers.get("accept", ""))
+            return HTTPResponse.ok(body, content_type)
+
+        program = self.cgi.resolve(path)
+        if program is None:
+            return HTTPResponse.not_found(f"no resource at {path}")
+
+        session, is_new = self.sessions.resolve(request)
+        context = CGIContext(
+            request=request,
+            params=request.params,
+            session=session,
+            database=self.database,
+            transactions=self.transactions,
+            server=self,
+        )
+        try:
+            response = yield from program.run(context)
+        except Exception as exc:
+            self.stats.incr("program_errors")
+            response = HTTPResponse.error(f"{type(exc).__name__}: {exc}")
+        if is_new:
+            self.sessions.attach(response, session)
+        return response
+
+    def _check_authorization(self, request: HTTPRequest, path: str):
+        """None when allowed; a 401 response when credentials fail."""
+        realm = None
+        for prefix, prefix_realm in self._protected.items():
+            if path.startswith(prefix):
+                realm = prefix_realm
+                break
+        if realm is None:
+            return None
+        header = request.headers.get("authorization", "")
+        if header.lower().startswith("basic "):
+            import base64
+            try:
+                decoded = base64.b64decode(header[6:]).decode()
+                username, _, password = decoded.partition(":")
+                self.services["users"].verify(username, password)
+                return None
+            except Exception:
+                pass
+        self.stats.incr("auth_failures")
+        return HTTPResponse(
+            401,
+            {"content-type": "text/plain",
+             "www-authenticate": f'Basic realm="{realm}"'},
+            b"authentication required",
+        )
+
+    def _finalize(self, response: HTTPResponse) -> HTTPResponse:
+        custom = self._error_bodies.get(response.status)
+        if custom is not None and response.status >= 400:
+            response.body = custom
+        response.headers.setdefault("server", "repro-httpd/1.0")
+        return response
+
+
+def _negotiate(variants: list[tuple[str, bytes]], accept: str) \
+        -> tuple[str, bytes]:
+    """Pick the variant best matching an Accept header.
+
+    Minimal semantics: exact type match wins in the order listed by the
+    client; ``type/*`` and ``*/*`` match anything of that family; no
+    match (or no header) falls back to the first registered variant.
+    """
+    if accept:
+        wanted = [part.split(";")[0].strip().lower()
+                  for part in accept.split(",") if part.strip()]
+        for want in wanted:
+            for content_type, body in variants:
+                have = content_type.lower()
+                if want == have:
+                    return content_type, body
+                if want == "*/*":
+                    return variants[0][0], variants[0][1]
+                if want.endswith("/*") and \
+                        have.startswith(want[:-1]):
+                    return content_type, body
+    return variants[0][0], variants[0][1]

@@ -1,0 +1,92 @@
+"""Cookie-backed server-side sessions.
+
+"Most of the mobile commerce application programs reside in this
+component, except for some client-side programs such as cookies" — the
+host keeps the state, the device carries only the session cookie.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from ..sim import Simulator
+from .http import HTTPRequest, HTTPResponse
+
+__all__ = ["Session", "SessionStore", "SESSION_COOKIE"]
+
+SESSION_COOKIE = "msid"
+_session_counter = itertools.count(1)
+
+
+@dataclass
+class Session:
+    session_id: str
+    created_at: float
+    last_seen: float
+    data: dict = field(default_factory=dict)
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self.data.get(key, default)
+
+    def __setitem__(self, key: str, value: Any) -> None:
+        self.data[key] = value
+
+    def __getitem__(self, key: str) -> Any:
+        return self.data[key]
+
+    def __contains__(self, key: str) -> bool:
+        return key in self.data
+
+
+class SessionStore:
+    """Creates, resolves and expires sessions."""
+
+    def __init__(self, sim: Simulator, ttl: float = 1800.0):
+        self.sim = sim
+        self.ttl = ttl
+        self._sessions: dict[str, Session] = {}
+
+    def __len__(self) -> int:
+        return len(self._sessions)
+
+    def _new_id(self) -> str:
+        seed = f"{next(_session_counter)}:{self.sim.now}"
+        return hashlib.sha256(seed.encode()).hexdigest()[:16]
+
+    def create(self) -> Session:
+        session = Session(
+            session_id=self._new_id(),
+            created_at=self.sim.now,
+            last_seen=self.sim.now,
+        )
+        self._sessions[session.session_id] = session
+        return session
+
+    def get(self, session_id: str) -> Optional[Session]:
+        session = self._sessions.get(session_id)
+        if session is None:
+            return None
+        if self.sim.now - session.last_seen > self.ttl:
+            del self._sessions[session.session_id]
+            return None
+        session.last_seen = self.sim.now
+        return session
+
+    def destroy(self, session_id: str) -> None:
+        self._sessions.pop(session_id, None)
+
+    # -- HTTP integration -------------------------------------------------
+    def resolve(self, request: HTTPRequest) -> tuple[Session, bool]:
+        """Session for the request's cookie; (session, is_new)."""
+        session_id = request.cookies.get(SESSION_COOKIE)
+        if session_id:
+            session = self.get(session_id)
+            if session is not None:
+                return session, False
+        return self.create(), True
+
+    def attach(self, response: HTTPResponse, session: Session) -> None:
+        response.set_cookie(SESSION_COOKIE, session.session_id)

@@ -1,0 +1,44 @@
+"""Wireless networks component (paper §6): WLAN, cellular, channel, mobility."""
+
+from .cellular import (
+    BaseStation,
+    CallBlockedError,
+    CellularAttachment,
+    CellularNetwork,
+    DataNotSupportedError,
+)
+from .channel import ChannelModel, LinkBudget
+from .mobility import LinearPath, Mobile, Position, RandomWaypoint
+from .standards import (
+    CELLULAR_STANDARDS,
+    WLAN_STANDARDS,
+    CellularStandard,
+    WLANStandard,
+    cellular_standard,
+    wlan_standard,
+)
+from .wlan import AccessPoint, AdHocNetwork, Association, RadioLink
+
+__all__ = [
+    "BaseStation",
+    "CallBlockedError",
+    "CellularAttachment",
+    "CellularNetwork",
+    "DataNotSupportedError",
+    "ChannelModel",
+    "LinkBudget",
+    "LinearPath",
+    "Mobile",
+    "Position",
+    "RandomWaypoint",
+    "CELLULAR_STANDARDS",
+    "WLAN_STANDARDS",
+    "CellularStandard",
+    "WLANStandard",
+    "cellular_standard",
+    "wlan_standard",
+    "AccessPoint",
+    "AdHocNetwork",
+    "Association",
+    "RadioLink",
+]

@@ -1,0 +1,46 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+def test_cli_info(capsys):
+    assert main(["info"]) == 0
+    out = capsys.readouterr().out
+    assert "ICDCSW'03" in out
+    assert "repro.core" in out
+
+
+def test_cli_tables(capsys):
+    assert main(["tables"]) == 0
+    out = capsys.readouterr().out
+    assert "Palm i705" in out
+    assert "802.11b" in out
+    assert "WCDMA" in out
+    assert "commerce" in out
+
+
+def test_cli_validate(capsys):
+    assert main(["validate"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 1 (EC): VALID" in out
+    assert "Figure 2 (MC): VALID" in out
+
+
+def test_cli_quickstart_default(capsys):
+    assert main(["quickstart"]) == 0
+    out = capsys.readouterr().out
+    assert "OK in" in out
+
+
+def test_cli_quickstart_wlan_bearer_inferred(capsys):
+    assert main(["quickstart", "--bearer", "802.11b",
+                 "--middleware", "i-mode"]) == 0
+    out = capsys.readouterr().out
+    assert "i-mode/802.11b" in out
+
+
+def test_cli_rejects_unknown_command():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])

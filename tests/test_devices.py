@@ -1,0 +1,339 @@
+"""Tests for the mobile stations component: hardware, OS, devices, browser."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.devices import (
+    Battery,
+    BatteryDeadError,
+    CPU,
+    EmbeddedDatabase,
+    Memory,
+    Microbrowser,
+    OS_PROFILES,
+    OutOfMemoryError,
+    PALM_OS,
+    POCKET_PC,
+    SYMBIAN_OS,
+    TABLE2_DEVICES,
+    TaskLimitError,
+    TaskTable,
+    UnsupportedContentError,
+    build_station,
+    device_spec,
+)
+from repro.net import IPAddress
+from repro.sim import Simulator
+
+
+def make_station(sim, device="Toshiba E740", addr="10.0.0.50"):
+    return build_station(sim, device, IPAddress.parse(addr))
+
+
+# ------------------------------------------------------------------- CPU
+def test_cpu_time_scales_inversely_with_clock():
+    sim = Simulator()
+    slow = CPU(sim, mhz=33)
+    fast = CPU(sim, mhz=400)
+    cycles = 1e6
+    assert slow.seconds_for(cycles) > 10 * fast.seconds_for(cycles)
+
+
+def test_cpu_overhead_factor_applies():
+    sim = Simulator()
+    lean = CPU(sim, mhz=100, overhead_factor=1.0)
+    heavy = CPU(sim, mhz=100, overhead_factor=1.5)
+    assert heavy.seconds_for(1e6) == pytest.approx(1.5 * lean.seconds_for(1e6))
+
+
+def test_cpu_rejects_bad_params():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        CPU(sim, mhz=0)
+    with pytest.raises(ValueError):
+        CPU(sim, mhz=100, overhead_factor=0.5)
+    with pytest.raises(ValueError):
+        CPU(sim, mhz=100).seconds_for(-1)
+
+
+# ---------------------------------------------------------------- Memory
+def test_memory_allocation_and_oom():
+    mem = Memory(ram_kb=100, rom_kb=10)
+    mem.allocate("app", 60)
+    assert mem.free_kb == 40
+    with pytest.raises(OutOfMemoryError):
+        mem.allocate("big", 41)
+    assert mem.free("app") == 60
+    assert mem.free_kb == 100
+    assert mem.free("missing") == 0
+
+
+def test_memory_rejects_nonpositive():
+    mem = Memory(ram_kb=10, rom_kb=0)
+    with pytest.raises(ValueError):
+        mem.allocate("x", 0)
+    with pytest.raises(ValueError):
+        Memory(ram_kb=0, rom_kb=0)
+
+
+@given(st.lists(st.integers(min_value=1, max_value=30), max_size=20))
+def test_memory_accounting_invariant(sizes):
+    mem = Memory(ram_kb=1000, rom_kb=0)
+    allocated = []
+    for i, kb in enumerate(sizes):
+        try:
+            mem.allocate(f"t{i}", kb)
+            allocated.append((f"t{i}", kb))
+        except OutOfMemoryError:
+            pass
+    assert mem.used_kb == sum(kb for _, kb in allocated)
+    for tag, _ in allocated:
+        mem.free(tag)
+    assert mem.used_kb == 0
+
+
+# --------------------------------------------------------------- Battery
+def test_battery_drains_and_dies():
+    battery = Battery(capacity=10.0)
+    battery.drain("cpu", 10.0)  # 0.2/s -> 2 units
+    assert battery.level == pytest.approx(0.8)
+    battery.drain("radio_tx", 16.0)  # 0.5/s -> 8 units
+    assert battery.is_dead
+    with pytest.raises(BatteryDeadError):
+        battery.require()
+    battery.recharge()
+    assert battery.level == 1.0
+
+
+def test_battery_efficiency_doubles_life():
+    palm = Battery(capacity=10.0, efficiency=2.0)
+    rival = Battery(capacity=10.0, efficiency=1.0)
+    palm.drain("cpu", 20.0)
+    rival.drain("cpu", 20.0)
+    # Same activity consumes half the charge on the efficient platform.
+    assert (1 - palm.level) == pytest.approx(0.5 * (1 - rival.level))
+
+
+def test_battery_unknown_activity():
+    with pytest.raises(ValueError):
+        Battery().drain("warp_drive", 1.0)
+
+
+# --------------------------------------------------------------------- OS
+def test_three_major_os_profiles_present():
+    assert set(OS_PROFILES) == {"Palm OS", "Pocket PC", "Symbian OS"}
+
+
+def test_palm_is_single_tasking():
+    table = TaskTable(PALM_OS)
+    table.start("browser")
+    with pytest.raises(TaskLimitError):
+        table.start("mail")
+    table.finish("browser")
+    table.start("mail")
+
+
+def test_preemptive_os_multitasks():
+    for profile in (POCKET_PC, SYMBIAN_OS):
+        table = TaskTable(profile)
+        for i in range(5):
+            table.start(f"task{i}")
+        assert len(table) == 5
+
+
+def test_palm_battery_advantage_encoded():
+    assert PALM_OS.battery_efficiency == pytest.approx(
+        2.0 * POCKET_PC.battery_efficiency)
+
+
+# ---------------------------------------------------------------- devices
+def test_table2_has_all_five_rows():
+    assert set(TABLE2_DEVICES) == {
+        "Compaq iPAQ H3870",
+        "Nokia 9290 Communicator",
+        "Palm i705",
+        "SONY Clie PEG-NR70V",
+        "Toshiba E740",
+    }
+
+
+def test_table2_specs_match_paper():
+    ipaq = device_spec("Compaq iPAQ H3870")
+    assert ipaq.cpu_mhz == 206 and ipaq.ram_mb == 64 and ipaq.rom_mb == 32
+    assert ipaq.os_name == "Pocket PC"
+    i705 = device_spec("Palm i705")
+    assert i705.cpu_mhz == 33 and i705.ram_mb == 8 and i705.rom_mb == 4
+    assert i705.os_name == "Palm OS"
+    e740 = device_spec("Toshiba E740")
+    assert e740.cpu_mhz == 400
+    nokia = device_spec("Nokia 9290 Communicator")
+    assert "confidential" in nokia.note
+
+
+def test_unknown_device_helpful_error():
+    with pytest.raises(KeyError, match="known"):
+        device_spec("iPhone 15")
+
+
+def test_station_charges_compute_to_cpu_and_battery():
+    sim = Simulator()
+    station = make_station(sim)
+    level_before = station.battery.level
+    done = station.compute(4e8)  # 1 s at 400 MHz (x OS overhead)
+    sim.run()
+    assert done.processed
+    assert sim.now == pytest.approx(1.35, rel=0.01)  # PocketPC overhead 1.35
+    assert station.battery.level < level_before
+
+
+def test_station_os_memory_footprint_claimed():
+    sim = Simulator()
+    station = make_station(sim, device="Palm i705")
+    assert station.memory.usage().get("os") == PALM_OS.footprint_kb
+
+
+def test_station_single_tasking_enforced():
+    sim = Simulator()
+    station = make_station(sim, device="Palm i705")
+    station.compute(1e7, task="render")
+    with pytest.raises(TaskLimitError):
+        station.compute(1e7, task="mail")
+    sim.run()
+    # After completion the slot frees up.
+    station.compute(1e7, task="mail")
+    sim.run()
+
+
+# ---------------------------------------------------------------- browser
+def test_render_speed_ordering_follows_cpu():
+    def render_time(device):
+        sim = Simulator()
+        station = make_station(sim, device=device)
+        browser = Microbrowser(station)
+        page = b"<wml><card><p>" + b"Buy now! " * 200 + b"</p></card></wml>"
+        result = browser.render(page, "text/vnd.wap.wml")
+        sim.run()
+        return result.value.render_seconds
+
+    t_palm = render_time("Palm i705")
+    t_clie = render_time("SONY Clie PEG-NR70V")
+    t_e740 = render_time("Toshiba E740")
+    assert t_palm > t_clie > t_e740
+
+
+def test_render_wraps_to_screen_width():
+    sim = Simulator()
+    station = make_station(sim, device="Palm i705")
+    browser = Microbrowser(station)
+    body = b"<p>" + b"word " * 100 + b"</p>"
+    result = browser.render(body, "text/vnd.wap.wml")
+    sim.run()
+    page = result.value
+    width = station.spec.screen.chars_per_line
+    assert all(len(line) <= width for line in page.lines)
+    assert page.lines  # something was rendered
+
+
+def test_binary_wmlc_renders_faster_than_wml():
+    sim = Simulator()
+    station = make_station(sim, device="Palm i705")
+    browser = Microbrowser(station)
+    body = b"x" * 2000
+    r1 = browser.render(body, "text/vnd.wap.wml")
+    sim.run()
+    t_wml = r1.value.render_seconds
+    r2 = browser.render(body, "application/vnd.wap.wmlc")
+    sim.run()
+    t_wmlc = r2.value.render_seconds
+    assert t_wmlc < t_wml
+
+
+def test_unsupported_content_rejected():
+    sim = Simulator()
+    station = make_station(sim)
+    browser = Microbrowser(station, accepted_types={"text/vnd.wap.wml"})
+    with pytest.raises(UnsupportedContentError):
+        browser.render(b"<html></html>", "text/html")
+
+
+def test_render_memory_freed_after_render():
+    sim = Simulator()
+    station = make_station(sim, device="Palm i705")
+    browser = Microbrowser(station)
+    used_before = station.memory.used_kb
+    result = browser.render(b"m" * 50_000, "text/vnd.wap.wml")
+    sim.run()
+    assert result.processed
+    assert station.memory.used_kb == used_before
+
+
+def test_markup_entities_unescaped():
+    sim = Simulator()
+    station = make_station(sim)
+    browser = Microbrowser(station)
+    result = browser.render(b"<p>fish &amp; chips</p>", "text/vnd.wap.wml")
+    sim.run()
+    assert "fish & chips" in result.value.visible_text
+
+
+# ----------------------------------------------------------- embedded db
+def test_embedded_db_crud():
+    sim = Simulator()
+    station = make_station(sim)
+    db = EmbeddedDatabase(station)
+    db.put("item:1", {"name": "widget", "qty": 5})
+    db.put("item:2", {"name": "gadget", "qty": 2})
+    assert db.get("item:1") == {"name": "widget", "qty": 5}
+    assert len(db) == 2
+    assert db.delete("item:1")
+    assert db.get("item:1") is None
+    assert not db.delete("item:1")
+    assert db.keys() == ["item:2"]
+
+
+def test_embedded_db_charges_device_memory():
+    sim = Simulator()
+    station = make_station(sim, device="Palm i705")
+    db = EmbeddedDatabase(station)
+    before = station.memory.used_kb
+    for i in range(200):
+        db.put(f"rec:{i}", {"payload": "y" * 100})
+    assert station.memory.used_kb > before
+
+
+def test_embedded_db_quota_enforced():
+    sim = Simulator()
+    station = make_station(sim)
+    db = EmbeddedDatabase(station, quota_kb=2)
+    with pytest.raises(OutOfMemoryError):
+        for i in range(100):
+            db.put(f"rec:{i}", {"blob": "z" * 200})
+
+
+def test_sync_delta_round_trip():
+    sim = Simulator()
+    station = make_station(sim)
+    db = EmbeddedDatabase(station)
+    db.put("a", {"v": 1})
+    db.put("b", {"v": 2})
+    checkpoint = db.version
+    db.put("c", {"v": 3})
+    db.delete("a")
+    delta = db.changes_since(checkpoint)
+    keys = {r.key for r in delta.records}
+    assert keys == {"a", "c"}
+    assert any(r.deleted for r in delta.records if r.key == "a")
+
+
+def test_sync_apply_remote_last_writer_wins():
+    sim = Simulator()
+    s1 = make_station(sim, addr="10.0.0.51")
+    db = EmbeddedDatabase(s1)
+    db.put("x", {"v": "local"})
+    from repro.devices import Record, SyncDelta
+    stale = SyncDelta(records=[Record("x", {"v": "stale"}, version=0)])
+    assert db.apply_remote(stale) == 0
+    assert db.get("x") == {"v": "local"}
+    fresh = SyncDelta(records=[Record("x", {"v": "fresh"}, version=999)])
+    assert db.apply_remote(fresh) == 1
+    assert db.get("x") == {"v": "fresh"}

@@ -1,0 +1,181 @@
+"""Validation of the simulation models against analytic theory.
+
+A simulator earns trust by matching closed-form results where they
+exist:
+
+* the circuit-switched cell's blocking probability must follow the
+  Erlang-B formula B(A, C);
+* TCP's smoothed RTT estimator must converge to the true path RTT;
+* link serialization+propagation must match the back-of-envelope sum;
+* the channel model's reference loss must interpolate sensibly between
+  calibrated bands.
+"""
+
+import math
+
+import pytest
+
+from repro.net import Network, Packet, Subnet, TCPStack
+from repro.sim import SeedBank, Simulator
+from repro.wireless import (
+    CellularNetwork,
+    CellularStandard,
+    ChannelModel,
+    Mobile,
+    Position,
+    wlan_standard,
+)
+
+
+# ----------------------------------------------------------------- Erlang B
+def erlang_b(offered_load: float, channels: int) -> float:
+    """Closed-form Erlang-B blocking probability."""
+    inv_b = 1.0
+    for k in range(1, channels + 1):
+        inv_b = 1.0 + inv_b * k / offered_load
+    return 1.0 / inv_b
+
+
+@pytest.mark.parametrize("offered_load", [4.0, 8.0, 12.0])
+def test_circuit_blocking_matches_erlang_b(offered_load):
+    """Poisson arrivals, exponential holding, C=8 channels."""
+    channels = 8
+    sim = Simulator()
+    net = Network(sim)
+    core = net.add_node("core", forwarding=True)
+    standard = CellularStandard(
+        "GSM-small", "2G", "digital", "circuit", 9_600.0,
+        voice_channels_per_cell=channels,
+    )
+    cellnet = CellularNetwork(net, core, standard)
+    bs = cellnet.add_base_station("bs0", Position(0, 0))
+    net.build_routes()
+
+    stream = SeedBank(99).stream(f"traffic-{offered_load}")
+    mean_hold = 60.0
+    arrival_rate = offered_load / mean_hold
+    n_calls = 3000
+
+    def traffic(env):
+        for _ in range(n_calls):
+            yield env.timeout(stream.expovariate(arrival_rate))
+            bs.place_voice_call(
+                duration=stream.expovariate(1.0 / mean_hold))
+
+    sim.spawn(traffic(sim))
+    sim.run()
+
+    blocked = bs.stats.get("calls_blocked")
+    carried = bs.stats.get("calls_carried")
+    measured = blocked / (blocked + carried)
+    expected = erlang_b(offered_load, channels)
+    assert measured == pytest.approx(expected, abs=0.035), (
+        f"A={offered_load}: measured blocking {measured:.3f}, "
+        f"Erlang-B predicts {expected:.3f}"
+    )
+
+
+# ------------------------------------------------------------------ TCP RTT
+def test_tcp_srtt_converges_to_path_rtt():
+    sim = Simulator()
+    net = Network(sim)
+    a = net.add_node("a")
+    b = net.add_node("b")
+    one_way = 0.040
+    net.connect(a, b, Subnet.parse("10.0.0.0/24"),
+                bandwidth_bps=10_000_000, delay=one_way)
+    net.build_routes()
+    tcp_a, tcp_b = TCPStack(a, mss=512), TCPStack(b, mss=512)
+    listener = tcp_b.listen(80)
+    received = bytearray()
+    size = 100_000
+
+    def server(env):
+        conn = yield listener.accept()
+        while len(received) < size:
+            chunk = yield conn.recv()
+            if chunk == b"":
+                break
+            received.extend(chunk)
+
+    holder = {}
+
+    def client(env):
+        conn = tcp_a.connect(b.primary_address, 80, mss=512)
+        holder["conn"] = conn
+        yield conn.established_event
+        conn.send(b"R" * size)
+
+    sim.spawn(server(sim))
+    sim.spawn(client(sim))
+    sim.run(until=120)
+    assert bytes(received) == b"R" * size
+    conn = holder["conn"]
+    true_rtt = 2 * one_way  # plus small serialization; srtt should be near
+    assert conn.srtt == pytest.approx(true_rtt, rel=0.35)
+    # And the RTO respects the floor while staying sane.
+    assert 0.2 <= conn.rto < 1.0
+
+
+# ------------------------------------------------------------ link timing
+def test_link_latency_formula():
+    """Arrival time = serialization + propagation, exactly."""
+    sim = Simulator()
+    net = Network(sim)
+    a = net.add_node("a")
+    b = net.add_node("b")
+    bandwidth, delay = 2_000_000.0, 0.0125
+    net.connect(a, b, Subnet.parse("10.0.0.0/24"),
+                bandwidth_bps=bandwidth, delay=delay)
+    net.build_routes()
+    arrivals = []
+    b.register_protocol("t", lambda n, p: arrivals.append(sim.now))
+    size_bytes = 1500
+    a.send_ip(Packet(src=a.primary_address, dst=b.primary_address,
+                     proto="t", payload_size=size_bytes - 20))
+    sim.run()
+    expected = size_bytes * 8 / bandwidth + delay
+    assert arrivals[0] == pytest.approx(expected, abs=1e-9)
+
+
+def test_back_to_back_packets_pipeline():
+    """The second packet queues behind the first (store-and-forward)."""
+    sim = Simulator()
+    net = Network(sim)
+    a = net.add_node("a")
+    b = net.add_node("b")
+    bandwidth, delay = 1_000_000.0, 0.010
+    net.connect(a, b, Subnet.parse("10.0.0.0/24"),
+                bandwidth_bps=bandwidth, delay=delay)
+    net.build_routes()
+    arrivals = []
+    b.register_protocol("t", lambda n, p: arrivals.append(sim.now))
+    for _ in range(3):
+        a.send_ip(Packet(src=a.primary_address, dst=b.primary_address,
+                         proto="t", payload_size=980))  # 1000 B on wire
+    sim.run()
+    serialize = 1000 * 8 / bandwidth
+    for index, arrival in enumerate(arrivals):
+        assert arrival == pytest.approx((index + 1) * serialize + delay,
+                                        abs=1e-9)
+
+
+# --------------------------------------------------------------- channel
+def test_reference_loss_interpolates_between_bands():
+    ch = ChannelModel()
+    loss_24 = ch.reference_loss(2.4)
+    loss_50 = ch.reference_loss(5.0)
+    loss_36 = ch.reference_loss(3.6)
+    assert loss_24 < loss_36 < loss_50
+    # 20*log10 scaling from the 2.4 GHz anchor.
+    assert loss_36 == pytest.approx(
+        loss_24 + 20 * math.log10(3.6 / 2.4), abs=1e-9)
+
+
+def test_free_space_like_doubling_distance_costs_fixed_db():
+    """Log-distance law: doubling d adds 10*n*log10(2) dB, everywhere."""
+    ch = ChannelModel()
+    step = ch.path_loss_db(20, 2.4) - ch.path_loss_db(10, 2.4)
+    step2 = ch.path_loss_db(200, 2.4) - ch.path_loss_db(100, 2.4)
+    assert step == pytest.approx(step2, abs=1e-9)
+    assert step == pytest.approx(10 * 3.0 * math.log10(2), abs=1e-9)

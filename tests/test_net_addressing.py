@@ -1,0 +1,102 @@
+"""Tests for IP addressing, subnets and allocation."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.net import AddressAllocator, IPAddress, Subnet
+
+
+def test_parse_and_render_round_trip():
+    addr = IPAddress.parse("192.168.1.10")
+    assert str(addr) == "192.168.1.10"
+    assert addr.value == (192 << 24) | (168 << 16) | (1 << 8) | 10
+
+
+@pytest.mark.parametrize("bad", ["1.2.3", "1.2.3.4.5", "256.1.1.1", "a.b.c.d"])
+def test_parse_rejects_malformed(bad):
+    with pytest.raises(ValueError):
+        IPAddress.parse(bad)
+
+
+def test_address_range_enforced():
+    with pytest.raises(ValueError):
+        IPAddress(-1)
+    with pytest.raises(ValueError):
+        IPAddress(2**32)
+
+
+def test_addresses_are_ordered_and_hashable():
+    a = IPAddress.parse("10.0.0.1")
+    b = IPAddress.parse("10.0.0.2")
+    assert a < b
+    assert len({a, b, IPAddress.parse("10.0.0.1")}) == 2
+
+
+@given(st.integers(min_value=0, max_value=2**32 - 1))
+def test_parse_str_round_trip_property(value):
+    addr = IPAddress(value)
+    assert IPAddress.parse(str(addr)) == addr
+
+
+def test_subnet_contains():
+    net = Subnet.parse("10.1.0.0/16")
+    assert net.contains(IPAddress.parse("10.1.255.255"))
+    assert not net.contains(IPAddress.parse("10.2.0.0"))
+
+
+def test_subnet_rejects_host_bits():
+    with pytest.raises(ValueError):
+        Subnet(IPAddress.parse("10.1.0.1"), 16)
+
+
+def test_subnet_rejects_bad_prefix():
+    with pytest.raises(ValueError):
+        Subnet(IPAddress.parse("10.0.0.0"), 33)
+
+
+def test_subnet_parse_requires_prefix():
+    with pytest.raises(ValueError):
+        Subnet.parse("10.0.0.0")
+
+
+def test_subnet_hosts_skips_network_and_broadcast():
+    net = Subnet.parse("192.168.0.0/30")
+    hosts = list(net.hosts())
+    assert [str(h) for h in hosts] == ["192.168.0.1", "192.168.0.2"]
+
+
+def test_subnet_slash_31_uses_both():
+    net = Subnet.parse("192.168.0.0/31")
+    assert len(list(net.hosts())) == 2
+
+
+def test_zero_prefix_contains_everything():
+    net = Subnet.parse("0.0.0.0/0")
+    assert net.contains(IPAddress.parse("255.255.255.255"))
+    assert net.mask == 0
+
+
+def test_allocator_unique_addresses():
+    alloc = AddressAllocator(Subnet.parse("10.0.0.0/29"))
+    seen = {alloc.allocate() for _ in range(6)}
+    assert len(seen) == 6
+    with pytest.raises(RuntimeError):
+        alloc.allocate()
+
+
+def test_allocator_reserve_and_release():
+    net = Subnet.parse("10.0.0.0/30")
+    alloc = AddressAllocator(net)
+    first = IPAddress.parse("10.0.0.1")
+    alloc.reserve(first)
+    assert alloc.allocate() == IPAddress.parse("10.0.0.2")
+    with pytest.raises(ValueError):
+        alloc.reserve(IPAddress.parse("192.168.0.1"))
+
+
+@given(st.integers(min_value=0, max_value=32))
+def test_subnet_size_property(prefix):
+    base = IPAddress(0)
+    net = Subnet(base, prefix)
+    assert net.size == 2 ** (32 - prefix)
+    assert net.contains(IPAddress(net.size - 1))

@@ -1,0 +1,237 @@
+"""Tests for links, nodes, routing and IP forwarding."""
+
+import pytest
+
+from repro.net import (
+    IPAddress,
+    Link,
+    Network,
+    Packet,
+    Subnet,
+    install_echo_responder,
+    ping,
+)
+from repro.net.packet import PROTO_ICMP
+from repro.sim import SeedBank, Simulator
+
+
+def two_host_net(sim, **link_kwargs):
+    net = Network(sim)
+    a = net.add_node("a")
+    b = net.add_node("b")
+    net.connect(a, b, Subnet.parse("10.0.0.0/24"), **link_kwargs)
+    net.build_routes()
+    return net, a, b
+
+
+def test_direct_delivery():
+    sim = Simulator()
+    net, a, b = two_host_net(sim)
+    got = []
+    b.register_protocol("test", lambda n, p: got.append(p))
+    pkt = Packet(src=a.primary_address, dst=b.primary_address,
+                 proto="test", payload="hi", payload_size=10)
+    a.send_ip(pkt)
+    sim.run()
+    assert len(got) == 1
+    assert got[0].payload == "hi"
+
+
+def test_serialization_plus_propagation_latency():
+    sim = Simulator()
+    # 1 Mbps, 10 ms propagation: 1000-byte packet -> 8 ms + 10 ms = 18 ms.
+    net, a, b = two_host_net(sim, bandwidth_bps=1_000_000, delay=0.010)
+    arrival = []
+    b.register_protocol("test", lambda n, p: arrival.append(sim.now))
+    a.send_ip(Packet(src=a.primary_address, dst=b.primary_address,
+                     proto="test", payload_size=980))  # 980+20 hdr = 1000B
+    sim.run()
+    assert arrival[0] == pytest.approx(0.018, abs=1e-6)
+
+
+def test_loopback_delivery():
+    sim = Simulator()
+    net, a, b = two_host_net(sim)
+    got = []
+    a.register_protocol("test", lambda n, p: got.append(p))
+    a.send_ip(Packet(src=a.primary_address, dst=a.primary_address,
+                     proto="test", payload="self"))
+    sim.run()
+    assert got and got[0].payload == "self"
+
+
+def test_multi_hop_forwarding_through_router():
+    sim = Simulator()
+    net = Network(sim)
+    a = net.add_node("a")
+    r = net.add_node("r", forwarding=True)
+    b = net.add_node("b")
+    net.connect(a, r, Subnet.parse("10.0.1.0/24"))
+    net.connect(r, b, Subnet.parse("10.0.2.0/24"))
+    net.build_routes()
+    got = []
+    b.register_protocol("test", lambda n, p: got.append(p))
+    a.send_ip(Packet(src=a.primary_address, dst=b.primary_address,
+                     proto="test", payload="via router"))
+    sim.run()
+    assert got and got[0].hops == ["r", "b"]
+
+
+def test_non_forwarding_node_drops_transit():
+    sim = Simulator()
+    net = Network(sim)
+    a = net.add_node("a")
+    h = net.add_node("h")  # host, not router
+    b = net.add_node("b")
+    net.connect(a, h, Subnet.parse("10.0.1.0/24"))
+    net.connect(h, b, Subnet.parse("10.0.2.0/24"))
+    net.build_routes()
+    got = []
+    b.register_protocol("test", lambda n, p: got.append(p))
+    a.send_ip(Packet(src=a.primary_address, dst=b.primary_address, proto="test"))
+    sim.run()
+    assert not got
+    assert h.stats.get("not_for_me_drops") == 1
+
+
+def test_ttl_expiry_drops_packet():
+    sim = Simulator()
+    net = Network(sim)
+    nodes = [net.add_node(f"n{i}", forwarding=True) for i in range(4)]
+    for i in range(3):
+        net.connect(nodes[i], nodes[i + 1],
+                    Subnet.parse(f"10.0.{i}.0/24"))
+    net.build_routes()
+    got = []
+    nodes[3].register_protocol("test", lambda n, p: got.append(p))
+    pkt = Packet(src=nodes[0].primary_address, dst=nodes[3].primary_address,
+                 proto="test", ttl=2)  # needs 2 forwarding hops => dies at n2
+    nodes[0].send_ip(pkt)
+    sim.run()
+    assert not got
+    assert sum(n.stats.get("ttl_drops") for n in nodes) == 1
+
+
+def test_packet_born_dead_rejected():
+    with pytest.raises(ValueError):
+        Packet(src=IPAddress(1), dst=IPAddress(2), proto="t", ttl=0)
+
+
+def test_link_loss_drops_packets():
+    sim = Simulator()
+    stream = SeedBank(7).stream("loss")
+    net, a, b = two_host_net(sim, loss_rate=1.0, loss_stream=stream)
+    got = []
+    b.register_protocol("test", lambda n, p: got.append(p))
+    a.send_ip(Packet(src=a.primary_address, dst=b.primary_address, proto="test"))
+    sim.run()
+    assert not got
+    assert net.links[0].stats.get("loss_drops") == 1
+
+
+def test_loss_requires_stream():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Link(sim, loss_rate=0.1)
+
+
+def test_link_down_blackholes():
+    sim = Simulator()
+    net, a, b = two_host_net(sim)
+    got = []
+    b.register_protocol("test", lambda n, p: got.append(p))
+    net.links[0].take_down()
+    a.send_ip(Packet(src=a.primary_address, dst=b.primary_address, proto="test"))
+    sim.run()
+    assert not got
+    net.links[0].bring_up()
+    a.send_ip(Packet(src=a.primary_address, dst=b.primary_address, proto="test"))
+    sim.run()
+    assert len(got) == 1
+
+
+def test_queue_tail_drop():
+    sim = Simulator()
+    net, a, b = two_host_net(sim, bandwidth_bps=1000.0, queue_capacity=2)
+    for _ in range(10):
+        a.send_ip(Packet(src=a.primary_address, dst=b.primary_address,
+                         proto="test", payload_size=100))
+    sim.run()
+    assert net.links[0].stats.get("queue_drops") > 0
+
+
+def test_no_route_counted():
+    sim = Simulator()
+    net, a, b = two_host_net(sim)
+    a.send_ip(Packet(src=a.primary_address,
+                     dst=IPAddress.parse("172.16.0.1"), proto="test"))
+    sim.run()
+    assert a.stats.get("no_route_drops") == 1
+
+
+def test_tunnel_encapsulation_round_trip():
+    sim = Simulator()
+    net = Network(sim)
+    a = net.add_node("a")
+    r = net.add_node("r", forwarding=True)
+    b = net.add_node("b")
+    net.connect(a, r, Subnet.parse("10.0.1.0/24"))
+    net.connect(r, b, Subnet.parse("10.0.2.0/24"))
+    net.build_routes()
+    got = []
+    b.register_protocol("test", lambda n, p: got.append(p))
+    inner = Packet(src=a.primary_address, dst=b.primary_address,
+                   proto="test", payload="tunneled")
+    outer = inner.encapsulate(a.primary_address, b.primary_address)
+    a.send_ip(outer)
+    sim.run()
+    assert got and got[0].payload == "tunneled"
+    assert b.stats.get("decapsulated") == 1
+
+
+def test_decapsulate_non_tunnel_rejected():
+    pkt = Packet(src=IPAddress(1), dst=IPAddress(2), proto="test")
+    with pytest.raises(ValueError):
+        pkt.decapsulate()
+
+
+def test_ping_round_trip():
+    sim = Simulator()
+    net = Network(sim)
+    a = net.add_node("a")
+    r = net.add_node("r", forwarding=True)
+    b = net.add_node("b")
+    net.connect(a, r, Subnet.parse("10.0.1.0/24"), delay=0.005)
+    net.connect(r, b, Subnet.parse("10.0.2.0/24"), delay=0.005)
+    net.build_routes()
+    install_echo_responder(b)
+    result = ping(sim, a, b.primary_address)
+    sim.run()
+    reply = result.value
+    assert reply is not None
+    assert reply.rtt >= 0.020  # 4 x 5 ms propagation
+    assert "r" in reply.hops
+
+
+def test_ping_timeout_returns_none():
+    sim = Simulator()
+    net, a, b = two_host_net(sim)
+    # No echo responder installed on b.
+    result = ping(sim, a, b.primary_address, timeout=1.0)
+    sim.run()
+    assert result.value is None
+
+
+def test_duplicate_node_name_rejected():
+    sim = Simulator()
+    net = Network(sim)
+    net.add_node("x")
+    with pytest.raises(ValueError):
+        net.add_node("x")
+
+
+def test_find_node_by_address():
+    sim = Simulator()
+    net, a, b = two_host_net(sim)
+    assert net.find_node_by_address(b.primary_address) is b
+    assert net.find_node_by_address(IPAddress.parse("1.2.3.4")) is None

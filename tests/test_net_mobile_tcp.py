@@ -1,0 +1,299 @@
+"""Tests for the three wireless TCP enhancements (paper §5.2).
+
+Topology for all tests::
+
+    fixed host ---(wired: fast, clean)--- base station ---(wireless: lossy)--- mobile
+"""
+
+import pytest
+
+from repro.net import Network, Subnet, TCPStack
+from repro.net.mobile import HandoffNotifier, SnoopAgent, SplitRelay
+from repro.sim import SeedBank, Simulator
+
+WIRED = dict(bandwidth_bps=10_000_000, delay=0.010)
+
+
+def build_world(sim, wireless_loss=0.0, seed=1):
+    net = Network(sim)
+    fixed = net.add_node("fixed")
+    base = net.add_node("base", forwarding=True)
+    mobile = net.add_node("mobile")
+    net.connect(fixed, base, Subnet.parse("10.0.1.0/24"), **WIRED)
+    stream = SeedBank(seed).stream("wireless") if wireless_loss else None
+    net.connect(mobile, base, Subnet.parse("10.0.2.0/24"),
+                bandwidth_bps=2_000_000, delay=0.004,
+                loss_rate=wireless_loss, loss_stream=stream)
+    net.build_routes()
+    return net, fixed, base, mobile
+
+
+def fixed_to_mobile_transfer(sim, fixed, mobile, payload, mss=512,
+                             server_port=80):
+    """Fixed host sends ``payload`` to the mobile over one connection."""
+    tcp_f = TCPStack(fixed, mss=mss)
+    tcp_m = TCPStack(mobile, mss=mss)
+    listener = tcp_m.listen(server_port)
+    received = bytearray()
+    out = {"received": received}
+
+    def mobile_side(env):
+        conn = yield listener.accept()
+        out["mobile_conn"] = conn
+        while len(received) < len(payload):
+            chunk = yield conn.recv()
+            if chunk == b"":
+                break
+            received.extend(chunk)
+        out["done_at"] = env.now
+
+    def fixed_side(env):
+        conn = tcp_f.connect(mobile.primary_address, server_port, mss=mss)
+        out["fixed_conn"] = conn
+        yield conn.established_event
+        conn.send(payload)
+
+    sim.spawn(mobile_side(sim))
+    sim.spawn(fixed_side(sim))
+    return out
+
+
+# ------------------------------------------------------------------ snoop
+def test_snoop_shields_fixed_sender_from_wireless_loss():
+    payload = b"S" * 60_000
+    # Baseline: plain TCP over 8% wireless loss.
+    sim1 = Simulator()
+    net1, fixed1, base1, mobile1 = build_world(sim1, wireless_loss=0.08)
+    out1 = fixed_to_mobile_transfer(sim1, fixed1, mobile1, payload)
+    sim1.run(until=600)
+    assert bytes(out1["received"]) == payload
+
+    # Snoop agent on the base station, same seed.
+    sim2 = Simulator()
+    net2, fixed2, base2, mobile2 = build_world(sim2, wireless_loss=0.08)
+    snoop = SnoopAgent(base2, {mobile2.primary_address})
+    out2 = fixed_to_mobile_transfer(sim2, fixed2, mobile2, payload)
+    sim2.run(until=600)
+    assert bytes(out2["received"]) == payload
+
+    assert snoop.stats.get("local_retransmissions") > 0
+    assert snoop.stats.get("suppressed_dupacks") > 0
+    # The fixed sender recovers less itself: snoop repairs losses locally.
+    retrans_plain = out1["fixed_conn"].stats.get("retransmitted_segments")
+    retrans_snoop = out2["fixed_conn"].stats.get("retransmitted_segments")
+    assert retrans_snoop < retrans_plain
+    loss_events_plain = (out1["fixed_conn"].stats.get("fast_retransmits")
+                         + out1["fixed_conn"].stats.get("timeouts"))
+    loss_events_snoop = (out2["fixed_conn"].stats.get("fast_retransmits")
+                         + out2["fixed_conn"].stats.get("timeouts"))
+    assert loss_events_snoop <= loss_events_plain
+    # And the transfer is not slower.
+    assert out2["done_at"] <= out1["done_at"] * 1.25
+
+
+def test_snoop_transparent_on_clean_link():
+    payload = b"C" * 30_000
+    sim = Simulator()
+    net, fixed, base, mobile = build_world(sim, wireless_loss=0.0)
+    snoop = SnoopAgent(base, {mobile.primary_address})
+    out = fixed_to_mobile_transfer(sim, fixed, mobile, payload)
+    sim.run(until=120)
+    assert bytes(out["received"]) == payload
+    assert snoop.stats.get("local_retransmissions") == 0
+
+
+def test_snoop_cache_cleaned_by_new_acks():
+    payload = b"K" * 20_000
+    sim = Simulator()
+    net, fixed, base, mobile = build_world(sim)
+    snoop = SnoopAgent(base, {mobile.primary_address})
+    out = fixed_to_mobile_transfer(sim, fixed, mobile, payload)
+    sim.run(until=120)
+    assert bytes(out["received"]) == payload
+    total_cached = sum(len(f.cache) for f in snoop.flows.values())
+    assert total_cached == 0  # everything acknowledged and purged
+
+
+def test_snoop_ignores_non_mobile_flows():
+    payload = b"N" * 10_000
+    sim = Simulator()
+    net, fixed, base, mobile = build_world(sim)
+    snoop = SnoopAgent(base, set())  # knows about no mobiles
+    out = fixed_to_mobile_transfer(sim, fixed, mobile, payload)
+    sim.run(until=120)
+    assert bytes(out["received"]) == payload
+    assert snoop.stats.get("cached_segments") == 0
+
+
+# ------------------------------------------------------------------ split
+def test_split_relay_end_to_end():
+    sim = Simulator()
+    net, fixed, base, mobile = build_world(sim)
+    tcp_f = TCPStack(fixed)
+    server_listener = tcp_f.listen(80)
+    relay = SplitRelay(base, listen_port=8080,
+                       target_address=fixed.primary_address, target_port=80)
+    payload = b"HTTP/1.0 200 OK\r\n\r\n" + b"B" * 30_000
+    received = bytearray()
+
+    def origin_server(env):
+        conn = yield server_listener.accept()
+        request = yield conn.recv_exactly(3)
+        assert request == b"GET"
+        conn.send(payload)
+
+    def mobile_client(env):
+        tcp_m = TCPStack(mobile, mss=512)
+        conn = tcp_m.connect(base.primary_address, 8080, mss=512)
+        yield conn.established_event
+        conn.send(b"GET")
+        while len(received) < len(payload):
+            chunk = yield conn.recv()
+            if chunk == b"":
+                break
+            received.extend(chunk)
+
+    sim.spawn(origin_server(sim))
+    sim.spawn(mobile_client(sim))
+    sim.run(until=300)
+    assert bytes(received) == payload
+    assert relay.stats.get("sessions") == 1
+    assert relay.stats.get("bytes_down") == len(payload)
+
+
+def test_split_isolates_wired_sender_from_wireless_loss():
+    payload = b"W" * 50_000
+
+    def run(with_loss_seed):
+        sim = Simulator()
+        net, fixed, base, mobile = build_world(
+            sim, wireless_loss=0.08, seed=with_loss_seed)
+        tcp_f = TCPStack(fixed)
+        listener = tcp_f.listen(80)
+        SplitRelay(base, 8080, fixed.primary_address, 80)
+        received = bytearray()
+        conns = {}
+
+        def origin(env):
+            conn = yield listener.accept()
+            conns["wired"] = conn
+            _ = yield conn.recv_exactly(3)
+            conn.send(payload)
+
+        def client(env):
+            tcp_m = TCPStack(mobile, mss=512)
+            conn = tcp_m.connect(base.primary_address, 8080, mss=512)
+            yield conn.established_event
+            conn.send(b"GET")
+            while len(received) < len(payload):
+                chunk = yield conn.recv()
+                if chunk == b"":
+                    break
+                received.extend(chunk)
+
+        sim.spawn(origin(sim))
+        sim.spawn(client(sim))
+        sim.run(until=600)
+        return received, conns
+
+    received, conns = run(5)
+    assert bytes(received) == payload
+    wired = conns["wired"]
+    # The wired half never saw the wireless losses.
+    assert wired.stats.get("timeouts") == 0
+    assert wired.stats.get("fast_retransmits") == 0
+
+
+def test_split_sessions_are_independent():
+    sim = Simulator()
+    net, fixed, base, mobile = build_world(sim)
+    tcp_f = TCPStack(fixed)
+    listener = tcp_f.listen(80)
+    relay = SplitRelay(base, 8080, fixed.primary_address, 80)
+    tcp_m = TCPStack(mobile, mss=512)
+    replies = {}
+
+    def origin(env):
+        while True:
+            conn = yield listener.accept()
+            env.spawn(echo(env, conn))
+
+    def echo(env, conn):
+        tag = yield conn.recv_exactly(1)
+        conn.send(tag * 5)
+
+    def client(env, tag):
+        conn = tcp_m.connect(base.primary_address, 8080, mss=512)
+        yield conn.established_event
+        conn.send(tag)
+        reply = yield conn.recv_exactly(5)
+        replies[tag] = reply
+
+    sim.spawn(origin(sim))
+    sim.spawn(client(sim, b"a"))
+    sim.spawn(client(sim, b"b"))
+    sim.run(until=120)
+    assert replies[b"a"] == b"aaaaa"
+    assert replies[b"b"] == b"bbbbb"
+    assert relay.stats.get("sessions") == 2
+
+
+# ----------------------------------------------------------------- freeze
+def test_handoff_notifier_triggers_fast_resume():
+    """After a blackout handoff, signalling beats waiting for the RTO."""
+
+    def run(signal: bool):
+        sim = Simulator()
+        net, fixed, base, mobile = build_world(sim)
+        payload = b"F" * 40_000
+        out = fixed_to_mobile_transfer(sim, fixed, mobile, payload)
+        notifier = HandoffNotifier()
+        wireless = net.links[1]
+
+        def handoff(env):
+            yield env.timeout(0.3)
+            wireless.take_down()
+            yield env.timeout(1.5)  # long enough for RTO backoff
+            wireless.bring_up()
+            if signal and "mobile_conn" in out:
+                notifier.track(out["mobile_conn"])
+                notifier.handoff_complete()
+
+        sim.spawn(handoff(sim))
+        sim.run(until=600)
+        assert bytes(out["received"]) == payload
+        return out["done_at"]
+
+    t_signal = run(signal=True)
+    t_plain = run(signal=False)
+    assert t_signal < t_plain
+
+
+def test_notifier_forgets_closed_connections():
+    sim = Simulator()
+    net, fixed, base, mobile = build_world(sim)
+    out = fixed_to_mobile_transfer(sim, fixed, mobile, b"x" * 100)
+    sim.run(until=60)
+    conn = out["mobile_conn"]
+    conn.state = "CLOSED"
+    notifier = HandoffNotifier()
+    notifier.track(conn)
+    notifier.handoff_complete()
+    assert notifier.stats.get("signals_sent") == 0
+
+
+def test_notifier_track_idempotent():
+    notifier = HandoffNotifier()
+
+    class FakeConn:
+        state = "ESTABLISHED"
+        calls = 0
+
+        def signal_handoff_complete(self):
+            FakeConn.calls += 1
+
+    conn = FakeConn()
+    notifier.track(conn)
+    notifier.track(conn)
+    notifier.handoff_complete()
+    assert FakeConn.calls == 1

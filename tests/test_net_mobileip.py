@@ -1,0 +1,243 @@
+"""Tests for Mobile IP: registration, tunnelling, roaming transparency."""
+
+import pytest
+
+from repro.net import (
+    IPAddress,
+    Network,
+    Packet,
+    Subnet,
+    TCPStack,
+    install_echo_responder,
+    ping,
+)
+from repro.net.mobile import (
+    ForeignAgent,
+    HomeAgent,
+    MobileIPClient,
+    RoamingManager,
+)
+from repro.sim import Simulator
+
+
+def build_mobile_world(sim):
+    """Internet core with a home network, two foreign networks, a
+    correspondent host and a roaming mobile."""
+    net = Network(sim)
+    core = net.add_node("core", forwarding=True)
+    ha_router = net.add_node("ha-router", forwarding=True)
+    fa1_router = net.add_node("fa1-router", forwarding=True)
+    fa2_router = net.add_node("fa2-router", forwarding=True)
+    correspondent = net.add_node("correspondent")
+
+    net.connect(core, ha_router, Subnet.parse("10.1.0.0/24"), delay=0.002)
+    net.connect(core, fa1_router, Subnet.parse("10.2.0.0/24"), delay=0.002)
+    net.connect(core, fa2_router, Subnet.parse("10.3.0.0/24"), delay=0.002)
+    net.connect(core, correspondent, Subnet.parse("10.4.0.0/24"), delay=0.002)
+
+    mobile = net.add_node("mobile")
+    home_address = IPAddress.parse("10.1.0.100")
+
+    roaming = RoamingManager(net, mobile, home_address)
+    roaming.attach(ha_router)  # starts at home
+    net.build_routes()
+
+    ha = HomeAgent(ha_router)
+    fa1 = ForeignAgent(fa1_router)
+    fa2 = ForeignAgent(fa2_router)
+    client = MobileIPClient(mobile, home_address,
+                            ha_router.primary_address)
+    return net, locals()
+
+
+def test_reachable_at_home():
+    sim = Simulator()
+    net, w = build_mobile_world(sim)
+    install_echo_responder(w["mobile"])
+    result = ping(sim, w["correspondent"], w["home_address"])
+    sim.run(until=10)
+    assert result.value is not None
+
+
+def test_unreachable_after_move_without_registration():
+    sim = Simulator()
+    net, w = build_mobile_world(sim)
+    install_echo_responder(w["mobile"])
+
+    def scenario(env):
+        yield env.timeout(1)
+        w["roaming"].attach(w["fa1_router"])  # move, but never register
+
+    sim.spawn(scenario(sim))
+    sim.run(until=2)
+    result = ping(sim, w["correspondent"], w["home_address"], timeout=2.0)
+    sim.run(until=10)
+    assert result.value is None
+
+
+def test_registration_accepted():
+    sim = Simulator()
+    net, w = build_mobile_world(sim)
+    outcome = {}
+
+    def scenario(env):
+        w["roaming"].attach(w["fa1_router"])
+        reply = yield w["client"].register_via(w["fa1"].care_of_address)
+        outcome["reply"] = reply
+
+    sim.spawn(scenario(sim))
+    sim.run(until=10)
+    assert outcome["reply"] is not None and outcome["reply"].accepted
+    binding = w["ha"].binding_for(w["home_address"])
+    assert binding is not None
+    assert binding.care_of_address == w["fa1"].care_of_address
+
+
+def test_tunneled_delivery_after_registration():
+    sim = Simulator()
+    net, w = build_mobile_world(sim)
+    install_echo_responder(w["mobile"])
+    results = {}
+
+    def scenario(env):
+        w["roaming"].attach(w["fa1_router"])
+        yield w["client"].register_via(w["fa1"].care_of_address)
+        reply = yield ping(sim, w["correspondent"], w["home_address"],
+                           timeout=5.0)
+        results["reply"] = reply
+
+    sim.spawn(scenario(sim))
+    sim.run(until=30)
+    reply = results["reply"]
+    assert reply is not None
+    assert w["ha_router"].stats.get("mip_tunneled") >= 1
+    assert w["fa1_router"].stats.get("mip_decapsulated") >= 1
+
+
+def test_second_move_updates_binding():
+    sim = Simulator()
+    net, w = build_mobile_world(sim)
+    install_echo_responder(w["mobile"])
+    results = {}
+
+    def scenario(env):
+        w["roaming"].attach(w["fa1_router"])
+        yield w["client"].register_via(w["fa1"].care_of_address)
+        w["roaming"].attach(w["fa2_router"])
+        w["fa1"].remove_visitor(w["home_address"])
+        yield w["client"].register_via(w["fa2"].care_of_address)
+        reply = yield ping(sim, w["correspondent"], w["home_address"],
+                           timeout=5.0)
+        results["reply"] = reply
+
+    sim.spawn(scenario(sim))
+    sim.run(until=30)
+    assert results["reply"] is not None
+    binding = w["ha"].binding_for(w["home_address"])
+    assert binding.care_of_address == w["fa2"].care_of_address
+    assert w["fa2_router"].stats.get("mip_decapsulated") >= 1
+
+
+def test_deregistration_restores_home_delivery():
+    sim = Simulator()
+    net, w = build_mobile_world(sim)
+    install_echo_responder(w["mobile"])
+    results = {}
+
+    def scenario(env):
+        w["roaming"].attach(w["fa1_router"])
+        yield w["client"].register_via(w["fa1"].care_of_address)
+        # Come home.
+        w["roaming"].attach(w["ha_router"])
+        yield w["client"].deregister()
+        reply = yield ping(sim, w["correspondent"], w["home_address"],
+                           timeout=5.0)
+        results["reply"] = reply
+
+    sim.spawn(scenario(sim))
+    sim.run(until=30)
+    assert results["reply"] is not None
+    assert w["ha"].binding_for(w["home_address"]) is None
+
+
+def test_binding_expires_after_lifetime():
+    sim = Simulator()
+    net, w = build_mobile_world(sim)
+    done = {}
+
+    def scenario(env):
+        w["roaming"].attach(w["fa1_router"])
+        yield w["client"].register_via(w["fa1"].care_of_address,
+                                       lifetime=5.0)
+        yield env.timeout(10.0)
+        done["binding"] = w["ha"].binding_for(w["home_address"])
+
+    sim.spawn(scenario(sim))
+    sim.run(until=30)
+    assert done["binding"] is None
+
+
+def test_registration_with_wrong_home_agent_rejected():
+    sim = Simulator()
+    net, w = build_mobile_world(sim)
+    outcome = {}
+
+    def scenario(env):
+        # Stay at home (a reply to a rejected request could not be routed
+        # to a roamed-but-unregistered mobile) and send a request whose
+        # home_agent field names the correspondent.
+        from repro.net.mobile.mobileip import RegistrationRequest
+        sock = w["client"].udp.bind()
+        request = RegistrationRequest(
+            home_address=w["home_address"],
+            home_agent=w["correspondent"].primary_address,
+            care_of_address=w["fa1"].care_of_address,
+            lifetime=60.0,
+            identification=9999,
+        )
+        sock.sendto(request, w["ha_router"].primary_address, 434,
+                    data_size=32)
+        reply = yield sock.recv_with_timeout(3.0)
+        outcome["reply"] = reply
+
+    sim.spawn(scenario(sim))
+    sim.run(until=10)
+    reply = outcome["reply"]
+    assert reply is not None and not reply[0].accepted
+
+
+def test_tcp_connection_survives_handoff():
+    """The paper's transparency claim: active TCP connections persist."""
+    sim = Simulator()
+    net, w = build_mobile_world(sim)
+    mobile, correspondent = w["mobile"], w["correspondent"]
+    tcp_m = TCPStack(mobile, mss=512)
+    tcp_c = TCPStack(correspondent)
+    listener = tcp_c.listen(8080)
+    received = bytearray()
+    total = 40_000
+
+    def server(env):
+        conn = yield listener.accept()
+        while len(received) < total:
+            chunk = yield conn.recv()
+            if chunk == b"":
+                break
+            received.extend(chunk)
+
+    def mobile_app(env):
+        # Start at home; register nothing; begin sending.
+        conn = tcp_m.connect(correspondent.primary_address, 8080)
+        yield conn.established_event
+        conn.send(b"M" * total)
+
+    def roam(env):
+        yield env.timeout(0.5)
+        w["roaming"].attach(w["fa1_router"])
+        yield w["client"].register_via(w["fa1"].care_of_address)
+
+    sim.spawn(server(sim))
+    sim.spawn(mobile_app(sim))
+    sim.spawn(roam(sim))
+    sim.run(until=300)
+    assert bytes(received) == b"M" * total

@@ -1,0 +1,60 @@
+"""POST flows through every middleware (forms, not just query strings)."""
+
+import pytest
+
+from repro.apps import InventoryApp
+from repro.core import MCSystemBuilder, TransactionEngine
+from repro.db import execute
+
+
+def build_world(middleware):
+    system = MCSystemBuilder(middleware=middleware,
+                             bearer=("cellular", "WCDMA")).build()
+    fleet = InventoryApp()
+    system.mount_application(fleet)
+    return system, fleet
+
+
+@pytest.mark.parametrize("middleware", ["WAP", "i-mode", "Palm"])
+def test_post_form_reaches_application(middleware):
+    system, fleet = build_world(middleware)
+    handle = system.add_station("Compaq iPAQ H3870")
+    engine = TransactionEngine(system)
+
+    def post_update(ctx):
+        response = yield from ctx.post(
+            "/fleet/update",
+            {"shipment": "1", "x": "42.5", "y": "17.25",
+             "status": "delayed"})
+        return {"status": response.status}
+
+    done = engine.run_flow(handle, post_update)
+    system.run(until=300)
+    record = done.value
+    assert record.ok, record.error
+    assert record.result == {"status": 200}
+    rows = execute(system.host.db_server.database,
+                   "SELECT * FROM inv_shipments WHERE shipment_id = 1").rows
+    assert rows[0]["x"] == 42.5
+    assert rows[0]["y"] == 17.25
+    assert rows[0]["status"] == "delayed"
+
+
+def test_post_and_get_interleave_on_one_session():
+    system, fleet = build_world("WAP")
+    handle = system.add_station("Toshiba E740")
+    engine = TransactionEngine(system)
+
+    def mixed(ctx):
+        first = yield from ctx.post(
+            "/fleet/update", {"shipment": "2", "status": "idle",
+                              "x": "1", "y": "1"})
+        status = yield from ctx.get("/fleet/status")
+        yield from ctx.render(status)
+        return {"post": first.status, "get": status.status}
+
+    done = engine.run_flow(handle, mixed)
+    system.run(until=300)
+    assert done.value.ok, done.value.error
+    assert done.value.result == {"post": 200, "get": 200}
+    assert handle.session.stats.get("session_establishments") == 1

@@ -1,0 +1,180 @@
+"""Cross-layer property-based tests (hypothesis).
+
+Slow-ish generative tests that hammer invariants across the stack:
+TCP delivers exactly the bytes sent regardless of loss pattern; the
+HTTP codec round-trips arbitrary messages; templates never crash on
+well-formed input; WML survives transcoding pipelines.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.middleware import decode_wmlc, encode_wmlc, html_to_wml, parse_wml
+from repro.net import Network, Subnet, TCPStack
+from repro.sim import SeedBank, Simulator
+from repro.web import HTTPRequest, HTTPResponse, RequestParser, ResponseParser
+
+SLOW = settings(max_examples=15, deadline=None,
+                suppress_health_check=[HealthCheck.too_slow])
+
+
+# ---------------------------------------------------------------- TCP
+@given(
+    payload=st.binary(min_size=1, max_size=30_000),
+    loss=st.sampled_from([0.0, 0.03, 0.10]),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+@SLOW
+def test_tcp_delivers_exact_bytes_under_any_loss(payload, loss, seed):
+    sim = Simulator()
+    net = Network(sim)
+    a = net.add_node("a")
+    b = net.add_node("b")
+    stream = SeedBank(seed).stream("loss") if loss else None
+    net.connect(a, b, Subnet.parse("10.0.0.0/24"),
+                bandwidth_bps=5_000_000, delay=0.005,
+                loss_rate=loss, loss_stream=stream)
+    net.build_routes()
+    tcp_a, tcp_b = TCPStack(a, mss=700), TCPStack(b, mss=700)
+    listener = tcp_b.listen(80)
+    received = bytearray()
+
+    def server(env):
+        conn = yield listener.accept()
+        while len(received) < len(payload):
+            chunk = yield conn.recv()
+            if chunk == b"":
+                break
+            received.extend(chunk)
+
+    def client(env):
+        conn = tcp_a.connect(b.primary_address, 80, mss=700)
+        yield conn.established_event
+        conn.send(payload)
+
+    sim.spawn(server(sim))
+    sim.spawn(client(sim))
+    sim.run(until=3_000)
+    assert bytes(received) == payload
+
+
+@given(
+    chunks=st.lists(st.binary(min_size=1, max_size=4000),
+                    min_size=1, max_size=8),
+)
+@SLOW
+def test_tcp_preserves_stream_order_across_sends(chunks):
+    sim = Simulator()
+    net = Network(sim)
+    a = net.add_node("a")
+    b = net.add_node("b")
+    net.connect(a, b, Subnet.parse("10.0.0.0/24"), delay=0.002)
+    net.build_routes()
+    tcp_a, tcp_b = TCPStack(a), TCPStack(b)
+    listener = tcp_b.listen(80)
+    total = sum(len(c) for c in chunks)
+    received = bytearray()
+
+    def server(env):
+        conn = yield listener.accept()
+        while len(received) < total:
+            chunk = yield conn.recv()
+            if chunk == b"":
+                break
+            received.extend(chunk)
+
+    def client(env):
+        conn = tcp_a.connect(b.primary_address, 80)
+        yield conn.established_event
+        for chunk in chunks:
+            conn.send(chunk)
+            yield env.timeout(0.001)
+
+    sim.spawn(server(sim))
+    sim.spawn(client(sim))
+    sim.run(until=300)
+    assert bytes(received) == b"".join(chunks)
+
+
+# --------------------------------------------------------------- HTTP
+_header_name = st.text(alphabet="abcdefghijklmnopqrstuvwxyz-",
+                       min_size=1, max_size=12).filter(
+    lambda s: not s.startswith("-"))
+_header_value = st.text(
+    alphabet=st.characters(min_codepoint=33, max_codepoint=126), max_size=30)
+
+
+@given(
+    path=st.text(alphabet=st.characters(min_codepoint=33, max_codepoint=126),
+                 min_size=1, max_size=40).map(
+        lambda s: "/" + s.replace(" ", "")),
+    headers=st.dictionaries(_header_name, _header_value, max_size=5),
+    body=st.binary(max_size=2000),
+)
+@SLOW
+def test_http_request_codec_round_trip(path, headers, body):
+    request = HTTPRequest("POST", path, headers, body)
+    parsed = RequestParser().feed(request.encode())
+    assert len(parsed) == 1
+    out = parsed[0]
+    assert out.method == "POST"
+    assert out.path == path
+    assert out.body == body
+    for name, value in headers.items():
+        if name != "content-length":
+            assert out.headers.get(name) == value.strip()
+
+
+@given(status=st.sampled_from([200, 201, 302, 400, 404, 500]),
+       body=st.binary(max_size=5000))
+@SLOW
+def test_http_response_codec_round_trip(status, body):
+    response = HTTPResponse(status, {"content-type": "text/html"}, body)
+    out = ResponseParser().feed(response.encode())[0]
+    assert out.status == status
+    assert out.body == body
+
+
+@given(messages=st.lists(st.binary(max_size=500), min_size=1, max_size=5),
+       chop=st.integers(min_value=1, max_value=64))
+@SLOW
+def test_http_parser_invariant_under_fragmentation(messages, chop):
+    """Any byte-chopping of a pipelined stream parses identically."""
+    wire = b"".join(
+        HTTPRequest("POST", f"/m{i}", {}, body).encode()
+        for i, body in enumerate(messages)
+    )
+    parser = RequestParser()
+    collected = []
+    for i in range(0, len(wire), chop):
+        collected.extend(parser.feed(wire[i:i + chop]))
+    assert [r.body for r in collected] == list(messages)
+
+
+# ----------------------------------------------------------------- WML
+@given(text=st.text(alphabet=st.characters(
+    blacklist_characters="<>&\"", blacklist_categories=("Cs", "Cc")),
+    min_size=1, max_size=400))
+@SLOW
+def test_html_to_wml_to_wmlc_pipeline_never_crashes(text):
+    html = f"<html><head><title>T</title></head><body><p>{text}</p></body></html>"
+    deck = html_to_wml(html)
+    blob = encode_wmlc(deck)
+    decoded = decode_wmlc(blob)
+    assert decoded == deck
+    reparsed = parse_wml(deck.to_xml())
+    assert len(reparsed.cards) == len(deck.cards)
+
+
+@given(words=st.lists(
+    st.text(alphabet=st.characters(whitelist_categories=("Ll", "Lu")),
+            min_size=1, max_size=12),
+    min_size=1, max_size=300))
+@SLOW
+def test_html_to_wml_preserves_all_words(words):
+    """Card splitting loses no content."""
+    html = "<html><body><p>" + " ".join(words) + "</p></body></html>"
+    deck = html_to_wml(html, card_limit=80)
+    recovered = " ".join(
+        p for card in deck.cards for p in card.paragraphs).split()
+    assert recovered == words

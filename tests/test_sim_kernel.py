@@ -1,0 +1,386 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.sim import (
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    SimulationError,
+    Simulator,
+)
+
+
+def test_timeout_advances_clock():
+    sim = Simulator()
+    seen = []
+
+    def proc(env):
+        yield env.timeout(5)
+        seen.append(env.now)
+        yield env.timeout(2.5)
+        seen.append(env.now)
+
+    sim.spawn(proc(sim))
+    sim.run()
+    assert seen == [5.0, 7.5]
+
+
+def test_negative_timeout_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.timeout(-1)
+
+
+def test_timeout_carries_value():
+    sim = Simulator()
+    got = []
+
+    def proc(env):
+        value = yield env.timeout(1, value="hello")
+        got.append(value)
+
+    sim.spawn(proc(sim))
+    sim.run()
+    assert got == ["hello"]
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    order = []
+
+    def waiter(env, delay, tag):
+        yield env.timeout(delay)
+        order.append(tag)
+
+    for delay, tag in [(3, "c"), (1, "a"), (2, "b")]:
+        sim.spawn(waiter(sim, delay, tag))
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_same_time_events_fifo():
+    sim = Simulator()
+    order = []
+
+    def waiter(env, tag):
+        yield env.timeout(1)
+        order.append(tag)
+
+    for tag in ["first", "second", "third"]:
+        sim.spawn(waiter(sim, tag))
+    sim.run()
+    assert order == ["first", "second", "third"]
+
+
+def test_manual_event_succeed():
+    sim = Simulator()
+    ev = sim.event()
+    got = []
+
+    def waiter(env):
+        value = yield ev
+        got.append(value)
+
+    def trigger(env):
+        yield env.timeout(4)
+        ev.succeed(42)
+
+    sim.spawn(waiter(sim))
+    sim.spawn(trigger(sim))
+    sim.run()
+    assert got == [42]
+    assert ev.processed
+
+
+def test_event_fail_raises_in_waiter():
+    sim = Simulator()
+    ev = sim.event()
+    caught = []
+
+    def waiter(env):
+        try:
+            yield ev
+        except RuntimeError as exc:
+            caught.append(str(exc))
+
+    def trigger(env):
+        yield env.timeout(1)
+        ev.fail(RuntimeError("boom"))
+
+    sim.spawn(waiter(sim))
+    sim.spawn(trigger(sim))
+    sim.run()
+    assert caught == ["boom"]
+
+
+def test_double_trigger_rejected():
+    sim = Simulator()
+    ev = sim.event()
+    ev.succeed(1)
+    with pytest.raises(SimulationError):
+        ev.succeed(2)
+
+
+def test_event_value_before_trigger_rejected():
+    sim = Simulator()
+    ev = sim.event()
+    with pytest.raises(SimulationError):
+        _ = ev.value
+
+
+def test_process_return_value_propagates():
+    sim = Simulator()
+    got = []
+
+    def child(env):
+        yield env.timeout(2)
+        return "result"
+
+    def parent(env):
+        value = yield env.spawn(child(env))
+        got.append(value)
+
+    sim.spawn(parent(sim))
+    sim.run()
+    assert got == ["result"]
+
+
+def test_process_exception_propagates_to_waiter():
+    sim = Simulator(strict=False)
+    caught = []
+
+    def child(env):
+        yield env.timeout(1)
+        raise ValueError("child failed")
+
+    def parent(env):
+        try:
+            yield env.spawn(child(env))
+        except ValueError as exc:
+            caught.append(str(exc))
+
+    sim.spawn(parent(sim))
+    sim.run()
+    assert caught == ["child failed"]
+
+
+def test_strict_mode_raises_uncaught_process_error():
+    sim = Simulator(strict=True)
+
+    def bad(env):
+        yield env.timeout(1)
+        raise ValueError("unhandled")
+
+    sim.spawn(bad(sim))
+    with pytest.raises(ValueError):
+        sim.run()
+
+
+def test_interrupt_wakes_sleeping_process():
+    sim = Simulator()
+    events = []
+
+    def sleeper(env):
+        try:
+            yield env.timeout(100)
+            events.append("finished")
+        except Interrupt as intr:
+            events.append(("interrupted", env.now, intr.cause))
+
+    def interrupter(env, proc):
+        yield env.timeout(3)
+        proc.interrupt("wake up")
+
+    proc = sim.spawn(sleeper(sim))
+    sim.spawn(interrupter(sim, proc))
+    sim.run()
+    assert events == [("interrupted", 3.0, "wake up")]
+
+
+def test_interrupt_dead_process_is_noop():
+    sim = Simulator()
+
+    def quick(env):
+        yield env.timeout(1)
+
+    proc = sim.spawn(quick(sim))
+    sim.run()
+    assert not proc.is_alive
+    proc.interrupt()  # must not raise
+
+
+def test_run_until_stops_clock():
+    sim = Simulator()
+
+    def ticker(env):
+        while True:
+            yield env.timeout(10)
+
+    sim.spawn(ticker(sim))
+    sim.run(until=35)
+    assert sim.now == 35
+
+
+def test_run_until_past_rejected():
+    sim = Simulator()
+
+    def proc(env):
+        yield env.timeout(10)
+
+    sim.spawn(proc(sim))
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.run(until=5)
+
+
+def test_all_of_waits_for_every_event():
+    sim = Simulator()
+    got = []
+
+    def proc(env):
+        t1 = env.timeout(2, value="a")
+        t2 = env.timeout(5, value="b")
+        result = yield env.all_of([t1, t2])
+        got.append((env.now, sorted(result.values())))
+
+    sim.spawn(proc(sim))
+    sim.run()
+    assert got == [(5.0, ["a", "b"])]
+
+
+def test_any_of_fires_on_first():
+    sim = Simulator()
+    got = []
+
+    def proc(env):
+        t1 = env.timeout(2, value="fast")
+        t2 = env.timeout(50, value="slow")
+        result = yield env.any_of([t1, t2])
+        got.append((env.now, list(result.values())))
+
+    sim.spawn(proc(sim))
+    sim.run()
+    assert got == [(2.0, ["fast"])]
+
+
+def test_any_of_empty_fires_immediately():
+    sim = Simulator()
+    got = []
+
+    def proc(env):
+        result = yield env.any_of([])
+        got.append(result)
+
+    sim.spawn(proc(sim))
+    sim.run()
+    assert got == [{}]
+
+
+def test_yield_non_event_rejected():
+    sim = Simulator()
+
+    def bad(env):
+        yield 42
+
+    sim.spawn(bad(sim))
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_peek_reports_next_event_time():
+    sim = Simulator()
+
+    def proc(env):
+        yield env.timeout(7)
+
+    sim.spawn(proc(sim))
+    assert sim.peek() == 0.0  # process bootstrap event
+    sim.step()
+    assert sim.peek() == 7.0
+
+
+def test_wait_on_already_processed_event():
+    sim = Simulator()
+    ev = sim.event()
+    got = []
+
+    def late_waiter(env):
+        yield env.timeout(10)
+        value = yield ev  # ev processed long ago
+        got.append((env.now, value))
+
+    def trigger(env):
+        yield env.timeout(1)
+        ev.succeed("early")
+
+    sim.spawn(late_waiter(sim))
+    sim.spawn(trigger(sim))
+    sim.run()
+    assert got == [(10.0, "early")]
+
+
+def test_all_of_fails_when_any_child_fails():
+    sim = Simulator()
+    ev_ok = sim.event()
+    ev_bad = sim.event()
+    caught = []
+
+    def waiter(env):
+        try:
+            yield env.all_of([ev_ok, ev_bad])
+        except RuntimeError as exc:
+            caught.append(str(exc))
+
+    def trigger(env):
+        yield env.timeout(1)
+        ev_bad.fail(RuntimeError("child died"))
+        ev_ok.succeed("fine")
+
+    sim.spawn(waiter(sim))
+    sim.spawn(trigger(sim))
+    sim.run()
+    assert caught == ["child died"]
+
+
+def test_any_of_fails_if_first_event_fails():
+    sim = Simulator()
+    ev = sim.event()
+    caught = []
+
+    def waiter(env):
+        try:
+            yield env.any_of([ev, env.timeout(100)])
+        except ValueError as exc:
+            caught.append(str(exc))
+
+    def trigger(env):
+        yield env.timeout(1)
+        ev.fail(ValueError("early failure"))
+
+    sim.spawn(waiter(sim))
+    sim.spawn(trigger(sim))
+    sim.run(until=200)
+    assert caught == ["early failure"]
+
+
+def test_interrupt_cause_none_by_default():
+    sim = Simulator()
+    seen = []
+
+    def sleeper(env):
+        try:
+            yield env.timeout(50)
+        except Interrupt as intr:
+            seen.append(intr.cause)
+
+    proc = sim.spawn(sleeper(sim))
+
+    def poke(env):
+        yield env.timeout(1)
+        proc.interrupt()
+
+    sim.spawn(poke(sim))
+    sim.run()
+    assert seen == [None]

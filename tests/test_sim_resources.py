@@ -1,0 +1,211 @@
+"""Unit tests for Resource, Store and Channel primitives."""
+
+import pytest
+
+from repro.sim import Channel, Resource, Simulator, Store
+
+
+# ---------------------------------------------------------------- Resource
+def test_resource_grants_up_to_capacity():
+    sim = Simulator()
+    res = Resource(sim, capacity=2)
+    granted = []
+
+    def user(env, tag):
+        req = res.request()
+        yield req
+        granted.append((tag, env.now))
+        yield env.timeout(10)
+        res.release(req)
+
+    for tag in "abc":
+        sim.spawn(user(sim, tag))
+    sim.run()
+    by_tag = dict(granted)
+    assert by_tag["a"] == 0.0
+    assert by_tag["b"] == 0.0
+    assert by_tag["c"] == 10.0  # waited for a release
+
+
+def test_resource_fifo_order():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    order = []
+
+    def user(env, tag, hold):
+        req = res.request()
+        yield req
+        order.append(tag)
+        yield env.timeout(hold)
+        res.release(req)
+
+    for tag in ["first", "second", "third"]:
+        sim.spawn(user(sim, tag, hold=1))
+    sim.run()
+    assert order == ["first", "second", "third"]
+
+
+def test_resource_invalid_capacity():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Resource(sim, capacity=0)
+
+
+def test_resource_counts_and_queue():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    req1 = res.request()
+    req2 = res.request()
+    assert res.available == 0
+    assert res.queue_length == 1
+    assert req1.triggered and not req2.triggered
+    res.release(req1)
+    assert req2.triggered
+
+
+def test_request_cancel_leaves_queue():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    held = res.request()
+    waiting = res.request()
+    waiting.cancel()
+    assert res.queue_length == 0
+    res.release(held)
+    assert not waiting.triggered  # cancelled requests are never granted
+
+
+# ------------------------------------------------------------------- Store
+def test_store_put_then_get():
+    sim = Simulator()
+    store = Store(sim)
+    got = []
+
+    def consumer(env):
+        item = yield store.get()
+        got.append((env.now, item))
+
+    def producer(env):
+        yield env.timeout(3)
+        yield store.put("packet")
+
+    sim.spawn(consumer(sim))
+    sim.spawn(producer(sim))
+    sim.run()
+    assert got == [(3.0, "packet")]
+
+
+def test_store_get_before_put_blocks():
+    sim = Simulator()
+    store = Store(sim)
+    order = []
+
+    def consumer(env):
+        item = yield store.get()
+        order.append(item)
+
+    sim.spawn(consumer(sim))
+    store.put("x")
+    sim.run()
+    assert order == ["x"]
+
+
+def test_store_bounded_put_blocks_until_space():
+    sim = Simulator()
+    store = Store(sim, capacity=1)
+    times = []
+
+    def producer(env):
+        yield store.put(1)
+        times.append(("put1", env.now))
+        yield store.put(2)
+        times.append(("put2", env.now))
+
+    def consumer(env):
+        yield env.timeout(5)
+        item = yield store.get()
+        times.append(("got", env.now, item))
+
+    sim.spawn(producer(sim))
+    sim.spawn(consumer(sim))
+    sim.run()
+    assert ("put1", 0.0) in times
+    assert ("put2", 5.0) in times
+
+
+def test_store_fifo_ordering():
+    sim = Simulator()
+    store = Store(sim)
+    for i in range(5):
+        store.try_put(i)
+    got = []
+
+    def consumer(env):
+        for _ in range(5):
+            item = yield store.get()
+            got.append(item)
+
+    sim.spawn(consumer(sim))
+    sim.run()
+    assert got == [0, 1, 2, 3, 4]
+
+
+def test_store_try_put_respects_capacity():
+    sim = Simulator()
+    store = Store(sim, capacity=2)
+    assert store.try_put("a")
+    assert store.try_put("b")
+    assert not store.try_put("c")
+    assert len(store) == 2
+
+
+def test_store_try_get():
+    sim = Simulator()
+    store = Store(sim)
+    ok, item = store.try_get()
+    assert not ok and item is None
+    store.try_put("v")
+    ok, item = store.try_get()
+    assert ok and item == "v"
+
+
+# ----------------------------------------------------------------- Channel
+def test_channel_delivers_after_delay():
+    sim = Simulator()
+    chan = Channel(sim, delay=2.5)
+    got = []
+
+    def receiver(env):
+        item = yield chan.recv()
+        got.append((env.now, item))
+
+    sim.spawn(receiver(sim))
+    chan.send("msg")
+    sim.run()
+    assert got == [(2.5, "msg")]
+
+
+def test_channel_preserves_order():
+    sim = Simulator()
+    chan = Channel(sim, delay=1.0)
+    got = []
+
+    def sender(env):
+        for i in range(3):
+            chan.send(i)
+            yield env.timeout(0.1)
+
+    def receiver(env):
+        for _ in range(3):
+            item = yield chan.recv()
+            got.append(item)
+
+    sim.spawn(sender(sim))
+    sim.spawn(receiver(sim))
+    sim.run()
+    assert got == [0, 1, 2]
+
+
+def test_channel_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Channel(sim, delay=-1)

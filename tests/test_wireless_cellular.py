@@ -1,0 +1,342 @@
+"""Tests for cellular networks: switching techniques, generations, handoff."""
+
+import pytest
+
+from repro.net import IPAddress, Network, Subnet, TCPStack, install_echo_responder, ping
+from repro.sim import Simulator
+from repro.wireless import (
+    CallBlockedError,
+    CellularNetwork,
+    DataNotSupportedError,
+    Mobile,
+    Position,
+    cellular_standard,
+)
+
+
+def build_cell_world(sim, standard_name, n_cells=2, cell_spacing=4000.0):
+    net = Network(sim)
+    core = net.add_node("core", forwarding=True)
+    server = net.add_node("server")
+    net.connect(core, server, Subnet.parse("10.0.0.0/24"),
+                bandwidth_bps=100_000_000, delay=0.005)
+    cellnet = CellularNetwork(net, core, cellular_standard(standard_name))
+    for i in range(n_cells):
+        cellnet.add_base_station(f"bs{i}", Position(i * cell_spacing, 0))
+    net.build_routes()
+    return net, core, server, cellnet
+
+
+def add_subscriber(net, index=0):
+    sub = net.add_node(f"phone{index}")
+    sub.assign_address(IPAddress.parse(f"10.200.0.{10 + index}"))
+    return sub
+
+
+def test_1g_refuses_data_sessions():
+    sim = Simulator()
+    net, core, server, cellnet = build_cell_world(sim, "AMPS")
+    sub = add_subscriber(net)
+    with pytest.raises(DataNotSupportedError):
+        cellnet.attach(sub, Mobile(Position(0, 0)))
+
+
+def test_1g_still_carries_voice():
+    sim = Simulator()
+    net, core, server, cellnet = build_cell_world(sim, "AMPS")
+    bs = cellnet.base_stations[0]
+    result = bs.place_voice_call(duration=60.0)
+    sim.run()
+    assert result.value is True
+    assert bs.stats.get("calls_carried") == 1
+
+
+def test_circuit_cell_blocks_when_full():
+    sim = Simulator()
+    net, core, server, cellnet = build_cell_world(sim, "GSM")
+    bs = cellnet.base_stations[0]
+    capacity = bs.standard.voice_channels_per_cell
+    results = [bs.place_voice_call(duration=100.0)
+               for _ in range(capacity + 5)]
+    sim.run(until=50)
+    carried = sum(1 for r in results if r.triggered is False or
+                  (r.triggered and r.value is True))
+    blocked = bs.stats.get("calls_blocked")
+    assert blocked == 5
+    assert bs.stats.get("calls_carried") == capacity
+
+
+def test_gsm_data_session_reaches_server():
+    sim = Simulator()
+    net, core, server, cellnet = build_cell_world(sim, "GSM")
+    sub = add_subscriber(net)
+    cellnet.attach(sub, Mobile(Position(100, 0)))
+    install_echo_responder(server)
+    result = ping(sim, sub, server.primary_address, timeout=5.0)
+    sim.run(until=10)
+    assert result.value is not None
+    # Cellular latency is real: two 50 ms air legs dominate.
+    assert result.value.rtt >= 0.2
+
+
+def test_circuit_data_consumes_a_voice_channel():
+    sim = Simulator()
+    net, core, server, cellnet = build_cell_world(sim, "GSM")
+    bs = cellnet.base_stations[0]
+    sub = add_subscriber(net)
+    attachment = cellnet.attach(sub, Mobile(Position(0, 0)))
+    assert bs.channels.in_use == 1
+    attachment.detach()
+    assert bs.channels.in_use == 0
+
+
+def test_circuit_attach_blocked_when_cell_full():
+    sim = Simulator()
+    net, core, server, cellnet = build_cell_world(sim, "GSM")
+    bs = cellnet.base_stations[0]
+    for _ in range(bs.standard.voice_channels_per_cell):
+        bs.place_voice_call(duration=1000.0)
+    sim.run(until=1)  # let calls seize their channels
+    sub = add_subscriber(net)
+    with pytest.raises(CallBlockedError):
+        cellnet.attach(sub, Mobile(Position(0, 0)))
+
+
+def test_packet_attach_never_blocks():
+    sim = Simulator()
+    net, core, server, cellnet = build_cell_world(sim, "GPRS")
+    subs = []
+    for i in range(10):
+        sub = add_subscriber(net, i)
+        cellnet.attach(sub, Mobile(Position(0, 0)))
+        subs.append(sub)
+    assert len(cellnet.attachments) == 10
+
+
+def test_out_of_coverage_refused():
+    sim = Simulator()
+    net, core, server, cellnet = build_cell_world(sim, "GPRS")
+    sub = add_subscriber(net)
+    with pytest.raises(ConnectionError):
+        cellnet.attach(sub, Mobile(Position(100_000, 0)))
+
+
+def transfer_throughput(sim, net, server, sub, size=20_000, mss=512,
+                        until=3000):
+    tcp_srv = getattr(server, "_tcp_stack", None) or TCPStack(server)
+    tcp_sub = TCPStack(sub, mss=mss)
+    listener = tcp_srv.listen(8000 + hash(sub.name) % 1000)
+    port = listener.port
+    received = bytearray()
+    done = {}
+
+    def srv(env):
+        conn = yield listener.accept()
+        conn.send(b"T" * size)
+
+    def cli(env):
+        conn = tcp_sub.connect(server.primary_address, port, mss=mss)
+        yield conn.established_event
+        start = env.now
+        while len(received) < size:
+            chunk = yield conn.recv()
+            if chunk == b"":
+                break
+            received.extend(chunk)
+        done["bps"] = size * 8 / (env.now - start)
+
+    sim.spawn(srv(sim))
+    sim.spawn(cli(sim))
+    sim.run(until=until)
+    assert len(received) == size
+    return done["bps"]
+
+
+def test_generation_throughput_ordering():
+    """3G > 2.5G > 2G — the shape of Table 5's data-rate column."""
+    measured = {}
+    for name, size in [("GSM", 6_000), ("GPRS", 40_000),
+                       ("WCDMA", 200_000)]:
+        sim = Simulator()
+        net, core, server, cellnet = build_cell_world(sim, name)
+        sub = add_subscriber(net)
+        cellnet.attach(sub, Mobile(Position(0, 0)))
+        measured[name] = transfer_throughput(sim, net, server, sub,
+                                             size=size)
+    assert measured["GSM"] < measured["GPRS"] < measured["WCDMA"]
+    assert measured["GSM"] < 9_600
+    assert measured["WCDMA"] > 300_000
+
+
+def test_packet_cell_shares_capacity():
+    """Two concurrent GPRS users each get roughly half the cell rate."""
+
+    def run(n_users):
+        sim = Simulator()
+        net, core, server, cellnet = build_cell_world(sim, "GPRS")
+        tcp_srv = TCPStack(server)
+        rates = []
+        size = 30_000
+
+        def srv_loop(env, listener):
+            while True:
+                conn = yield listener.accept()
+                conn.send(b"P" * size)
+
+        listener = tcp_srv.listen(8000)
+        sim.spawn(srv_loop(sim, listener))
+
+        def client(env, sub):
+            tcp_sub = TCPStack(sub, mss=512)
+            conn = tcp_sub.connect(server.primary_address, 8000, mss=512)
+            yield conn.established_event
+            start = env.now
+            got = 0
+            while got < size:
+                chunk = yield conn.recv()
+                if chunk == b"":
+                    break
+                got += len(chunk)
+            rates.append(size * 8 / (env.now - start))
+
+        for i in range(n_users):
+            sub = add_subscriber(net, i)
+            cellnet.attach(sub, Mobile(Position(0, 0)))
+            sim.spawn(client(sim, sub))
+        sim.run(until=3000)
+        assert len(rates) == n_users
+        return sum(rates) / len(rates)
+
+    solo = run(1)
+    shared = run(2)
+    assert shared < 0.75 * solo  # sharing the cell really costs capacity
+
+
+def test_handoff_between_cells():
+    sim = Simulator()
+    net, core, server, cellnet = build_cell_world(sim, "GPRS", n_cells=2)
+    sub = add_subscriber(net)
+    mobile = Mobile(Position(0, 0))
+    attachment = cellnet.attach(sub, mobile)
+    install_echo_responder(server)
+    results = {}
+
+    def scenario(env):
+        r1 = yield ping(sim, sub, server.primary_address, timeout=5.0)
+        results["before"] = r1
+        # Drive to the second cell.
+        mobile.move_to(Position(4000, 0))
+        done = attachment.handoff_to(cellnet.base_stations[1])
+        yield done
+        r2 = yield ping(sim, sub, server.primary_address, timeout=5.0)
+        results["after"] = r2
+
+    sim.spawn(scenario(sim))
+    sim.run(until=60)
+    assert results["before"] is not None
+    assert results["after"] is not None
+    assert attachment.station is cellnet.base_stations[1]
+    assert attachment.stats.get("handoffs") == 1
+
+
+def test_auto_handoff_follows_movement():
+    sim = Simulator()
+    net, core, server, cellnet = build_cell_world(
+        sim, "GPRS", n_cells=2, cell_spacing=4000.0)
+    sub = add_subscriber(net)
+    mobile = Mobile(Position(0, 0))
+    attachment = cellnet.attach(sub, mobile)
+    cellnet.enable_auto_handoff(attachment)
+
+    def drive(env):
+        yield env.timeout(1)
+        mobile.move_to(Position(3500, 0))  # nearer to bs1
+
+    sim.spawn(drive(sim))
+    sim.run(until=30)
+    assert attachment.station is cellnet.base_stations[1]
+
+
+def test_best_station_picks_nearest_covering():
+    sim = Simulator()
+    net, core, server, cellnet = build_cell_world(
+        sim, "GPRS", n_cells=3, cell_spacing=4000.0)
+    assert cellnet.best_station(Position(100, 0)) is cellnet.base_stations[0]
+    assert cellnet.best_station(Position(4100, 0)) is cellnet.base_stations[1]
+    assert cellnet.best_station(Position(50_000, 0)) is None
+
+
+def test_qos_unknown_class_rejected():
+    sim = Simulator()
+    net, core, server, cellnet = build_cell_world(sim, "WCDMA")
+    sub = add_subscriber(net)
+    with pytest.raises(ValueError, match="QoS"):
+        cellnet.attach(sub, Mobile(Position(0, 0)), qos_class="warp")
+
+
+def test_qos_conversational_beats_background_on_3g():
+    """Under cell contention, the high-QoS subscriber finishes first."""
+
+    def run(priority_class):
+        sim = Simulator()
+        net, core, server, cellnet = build_cell_world(sim, "WCDMA")
+        from repro.net import TCPStack
+        tcp_srv = TCPStack(server)
+        listener = tcp_srv.listen(8000)
+        size = 120_000
+        finish = {}
+
+        def srv_loop(env):
+            while True:
+                conn = yield listener.accept()
+                conn.send(b"Q" * size)
+
+        sim.spawn(srv_loop(sim))
+
+        def client(env, sub, tag):
+            tcp_sub = TCPStack(sub, mss=512)
+            conn = tcp_sub.connect(server.primary_address, 8000, mss=512)
+            yield conn.established_event
+            got = 0
+            while got < size:
+                chunk = yield conn.recv()
+                if chunk == b"":
+                    break
+                got += len(chunk)
+            finish[tag] = env.now
+
+        # The subject subscriber plus three background competitors.
+        subject = add_subscriber(net, 0)
+        cellnet.attach(subject, Mobile(Position(0, 0)),
+                       qos_class=priority_class)
+        sim.spawn(client(sim, subject, "subject"))
+        for index in range(1, 4):
+            sub = add_subscriber(net, index)
+            cellnet.attach(sub, Mobile(Position(0, 0)),
+                           qos_class="background")
+            sim.spawn(client(sim, sub, f"bg{index}"))
+        sim.run(until=3_000)
+        assert len(finish) == 4
+        return finish
+
+    privileged = run("conversational")
+    flat = run("background")
+    # With QoS the subject beats every background transfer decisively;
+    # without it the subject is indistinguishable from the pack.
+    assert privileged["subject"] < min(
+        v for k, v in privileged.items() if k != "subject") * 0.8
+    spread = max(flat.values()) - min(flat.values())
+    assert flat["subject"] > min(flat.values()) - spread  # in the pack
+
+
+def test_qos_ignored_on_2g_cells():
+    """GPRS (2.5G) has no QoS scheduler — classes change nothing."""
+    sim = Simulator()
+    net, core, server, cellnet = build_cell_world(sim, "GPRS")
+    sub = add_subscriber(net)
+    attachment = cellnet.attach(sub, Mobile(Position(0, 0)),
+                                qos_class="conversational")
+    from repro.sim import PriorityResource
+    assert not isinstance(cellnet.base_stations[0].shared_airtime,
+                          PriorityResource)
+    assert attachment.qos_class == "conversational"  # recorded, inert

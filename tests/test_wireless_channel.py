@@ -1,0 +1,235 @@
+"""Tests for the radio channel model, standards registry and mobility."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim import SeedBank, Simulator
+from repro.wireless import (
+    CELLULAR_STANDARDS,
+    WLAN_STANDARDS,
+    ChannelModel,
+    LinearPath,
+    Mobile,
+    Position,
+    RandomWaypoint,
+    cellular_standard,
+    wlan_standard,
+)
+
+
+# ------------------------------------------------------------- standards
+def test_all_table4_rows_present():
+    assert set(WLAN_STANDARDS) == {
+        "Bluetooth", "802.11b", "802.11a", "HyperLAN2".replace("y", "i"),
+        "802.11g",
+    }
+
+
+def test_all_table5_rows_present():
+    assert set(CELLULAR_STANDARDS) == {
+        "AMPS", "TACS", "GSM", "TDMA", "CDMA", "GPRS", "EDGE",
+        "CDMA2000", "WCDMA",
+    }
+
+
+def test_unknown_standard_helpful_error():
+    with pytest.raises(KeyError, match="known"):
+        wlan_standard("802.11n")
+    with pytest.raises(KeyError, match="known"):
+        cellular_standard("LTE")
+
+
+def test_generation_taxonomy_matches_table5():
+    assert cellular_standard("AMPS").generation == "1G"
+    assert cellular_standard("GSM").generation == "2G"
+    assert cellular_standard("GPRS").generation == "2.5G"
+    assert cellular_standard("WCDMA").generation == "3G"
+    assert cellular_standard("GSM").switching == "circuit"
+    assert cellular_standard("GPRS").switching == "packet"
+    assert not cellular_standard("AMPS").supports_data
+    assert cellular_standard("EDGE").supports_data
+
+
+def test_rate_ladder_top_equals_rated_max():
+    for std in WLAN_STANDARDS.values():
+        assert max(r for r, _ in std.rate_ladder) == std.max_rate_bps
+
+
+# ---------------------------------------------------------------- channel
+def test_path_loss_monotonic_in_distance():
+    ch = ChannelModel()
+    losses = [ch.path_loss_db(d, 2.4) for d in (1, 10, 50, 100, 500)]
+    assert losses == sorted(losses)
+    assert losses[0] < losses[-1]
+
+
+def test_5ghz_attenuates_more_than_2_4ghz():
+    ch = ChannelModel()
+    assert ch.path_loss_db(50, 5.0) > ch.path_loss_db(50, 2.4)
+
+
+def test_rate_degrades_with_distance():
+    ch = ChannelModel()
+    std = wlan_standard("802.11a")
+    rates = [std.rate_at_snr(ch.snr_db(d, std)) for d in (2, 30, 60, 90, 200)]
+    assert rates[0] == 54e6
+    assert all(rates[i] >= rates[i + 1] for i in range(len(rates) - 1))
+    assert rates[-1] == 0.0
+
+
+def test_model_ranges_land_in_table4_windows():
+    """The headline calibration: max usable range within the paper's column."""
+    ch = ChannelModel()
+    for std in WLAN_STANDARDS.values():
+        low, high = std.typical_range_m
+        measured = ch.max_range_m(std)
+        assert low <= measured <= high * 1.1, (
+            f"{std.name}: measured range {measured:.0f} m outside "
+            f"[{low}, {high}] window"
+        )
+
+
+def test_budget_out_of_range():
+    ch = ChannelModel()
+    std = wlan_standard("Bluetooth")
+    budget = ch.budget(Position(0, 0), Position(1000, 0), std)
+    assert not budget.in_range
+    assert budget.success_probability == 0.0
+    assert not ch.frame_delivered(budget)
+
+
+def test_budget_near_is_reliable():
+    ch = ChannelModel()
+    std = wlan_standard("802.11b")
+    budget = ch.budget(Position(0, 0), Position(3, 0), std)
+    assert budget.in_range
+    assert budget.rate_bps == 11e6
+    assert budget.success_probability > 0.99
+
+
+def test_frame_delivery_deterministic_without_fading():
+    ch = ChannelModel()
+    std = wlan_standard("802.11b")
+    near = ch.budget(Position(0, 0), Position(5, 0), std)
+    assert ch.frame_delivered(near)
+
+
+def test_frame_delivery_stochastic_with_fading():
+    fading = SeedBank(1).stream("fade")
+    ch = ChannelModel(fading_stream=fading)
+    std = wlan_standard("802.11b")
+    # Right at the lowest rung's edge the success probability is ~0.5.
+    edge = ch.budget(Position(0, 0), Position(99, 0), std)
+    outcomes = [ch.frame_delivered(edge) for _ in range(400)]
+    successes = sum(outcomes)
+    assert 100 < successes < 300
+
+
+def test_bad_exponent_rejected():
+    with pytest.raises(ValueError):
+        ChannelModel(path_loss_exponent=0)
+
+
+@given(st.floats(min_value=1, max_value=5000),
+       st.floats(min_value=1.1, max_value=5000))
+def test_snr_decreases_with_distance_property(d1, factor):
+    ch = ChannelModel()
+    std = wlan_standard("802.11g")
+    assert ch.snr_db(d1 * factor, std) < ch.snr_db(d1, std)
+
+
+# --------------------------------------------------------------- mobility
+def test_position_distance():
+    assert Position(0, 0).distance_to(Position(3, 4)) == 5.0
+
+
+def test_position_toward_clamps_at_target():
+    p = Position(0, 0)
+    target = Position(10, 0)
+    assert p.toward(target, 4).x == pytest.approx(4)
+    assert p.toward(target, 15) == target
+    assert target.toward(target, 5) == target
+
+
+def test_mobile_move_fires_callbacks():
+    m = Mobile(Position(0, 0))
+    seen = []
+    m.on_move.append(lambda p: seen.append(p))
+    m.move_to(Position(1, 1))
+    assert seen == [Position(1, 1)]
+
+
+def test_linear_path_reaches_waypoints():
+    sim = Simulator()
+    m = Mobile(Position(0, 0))
+    path = LinearPath(sim, m, [Position(10, 0), Position(10, 10)],
+                      speed=2.0, tick=1.0)
+    sim.run(until=30)
+    assert m.position == Position(10, 10)
+    assert path.done.triggered
+
+
+def test_linear_path_speed_is_respected():
+    sim = Simulator()
+    m = Mobile(Position(0, 0))
+    LinearPath(sim, m, [Position(100, 0)], speed=5.0, tick=1.0)
+    sim.run(until=10)
+    assert m.position.x == pytest.approx(50.0)
+
+
+def test_linear_path_rejects_bad_params():
+    sim = Simulator()
+    m = Mobile(Position(0, 0))
+    with pytest.raises(ValueError):
+        LinearPath(sim, m, [], speed=0)
+    with pytest.raises(ValueError):
+        LinearPath(sim, m, [], speed=1, tick=0)
+
+
+def test_random_waypoint_stays_in_area():
+    sim = Simulator()
+    m = Mobile(Position(50, 50))
+    stream = SeedBank(11).stream("rwp")
+    RandomWaypoint(sim, m, stream, width=100, height=100,
+                   speed_range=(1, 5), pause_range=(0, 2))
+    positions = []
+
+    def sample(env):
+        for _ in range(50):
+            yield env.timeout(5)
+            positions.append(m.position)
+
+    sim.spawn(sample(sim))
+    sim.run(until=250)
+    assert positions
+    for p in positions:
+        assert 0 <= p.x <= 100 and 0 <= p.y <= 100
+    # It actually moved.
+    assert len({(round(p.x), round(p.y)) for p in positions}) > 3
+
+
+def test_random_waypoint_stop():
+    sim = Simulator()
+    m = Mobile(Position(0, 0))
+    stream = SeedBank(2).stream("rwp")
+    model = RandomWaypoint(sim, m, stream, width=100, height=100)
+
+    def stopper(env):
+        yield env.timeout(10)
+        model.stop()
+        yield env.timeout(1)
+
+    sim.spawn(stopper(sim))
+    sim.run()  # drains shortly after stop() instead of roaming forever
+    assert sim.now < 100
+
+
+def test_random_waypoint_validates_area():
+    sim = Simulator()
+    m = Mobile(Position(0, 0))
+    stream = SeedBank(0).stream("x")
+    with pytest.raises(ValueError):
+        RandomWaypoint(sim, m, stream, width=0, height=10)
+    with pytest.raises(ValueError):
+        RandomWaypoint(sim, m, stream, width=10, height=10,
+                       speed_range=(0, 1))

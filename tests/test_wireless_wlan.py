@@ -1,0 +1,322 @@
+"""Tests for WLAN infrastructure and ad hoc modes."""
+
+import pytest
+
+from repro.net import IPAddress, Network, Subnet, TCPStack, install_echo_responder, ping
+from repro.sim import SeedBank, Simulator
+from repro.wireless import (
+    AccessPoint,
+    AdHocNetwork,
+    ChannelModel,
+    Mobile,
+    Position,
+    wlan_standard,
+)
+
+
+def build_wlan_world(sim, standard_name="802.11b", station_at=(10, 0),
+                     fading_seed=None):
+    net = Network(sim)
+    server = net.add_node("server")
+    ap_router = net.add_node("ap", forwarding=True)
+    net.connect(server, ap_router, Subnet.parse("10.0.0.0/24"),
+                bandwidth_bps=100_000_000, delay=0.002)
+
+    fading = (SeedBank(fading_seed).stream("fade")
+              if fading_seed is not None else None)
+    channel = ChannelModel(fading_stream=fading)
+    ap = AccessPoint(ap_router, Position(0, 0),
+                     wlan_standard(standard_name), channel,
+                     wireless_subnet=Subnet.parse("10.0.1.0/24"))
+    net.build_routes()
+
+    station = net.add_node("station")
+    station.assign_address(IPAddress.parse("10.0.1.100"))
+    station_mobile = Mobile(Position(*station_at))
+    return net, server, ap, station, station_mobile
+
+
+def test_associate_and_reach_wired_host():
+    sim = Simulator()
+    net, server, ap, station, mobile = build_wlan_world(sim)
+    ap.associate(station, mobile)
+    install_echo_responder(server)
+    result = ping(sim, station, server.primary_address)
+    sim.run(until=10)
+    assert result.value is not None
+
+
+def test_out_of_range_association_refused():
+    sim = Simulator()
+    net, server, ap, station, mobile = build_wlan_world(
+        sim, station_at=(500, 0))
+    with pytest.raises(ConnectionError):
+        ap.associate(station, mobile)
+
+
+def test_throughput_higher_near_ap_than_at_edge():
+    def goodput(distance):
+        sim = Simulator()
+        net, server, ap, station, mobile = build_wlan_world(
+            sim, standard_name="802.11b", station_at=(distance, 0))
+        ap.associate(station, mobile)
+        tcp_srv = TCPStack(server)
+        tcp_sta = TCPStack(station, mss=1460)
+        listener = tcp_srv.listen(80)
+        payload = b"D" * 200_000
+        received = bytearray()
+        done = {}
+
+        def srv(env):
+            conn = yield listener.accept()
+            conn.send(payload)
+
+        def sta(env):
+            conn = tcp_sta.connect(server.primary_address, 80)
+            yield conn.established_event
+            while len(received) < len(payload):
+                chunk = yield conn.recv()
+                if chunk == b"":
+                    break
+                received.extend(chunk)
+            done["t"] = env.now
+
+        sim.spawn(srv(sim))
+        sim.spawn(sta(sim))
+        sim.run(until=600)
+        assert bytes(received) == payload
+        return len(payload) * 8 / done["t"]
+
+    near = goodput(5)     # 11 Mbps rung
+    far = goodput(95)     # 1 Mbps rung
+    assert near > 3 * far
+
+
+def test_station_moving_out_of_range_breaks_link():
+    sim = Simulator()
+    net, server, ap, station, mobile = build_wlan_world(sim)
+    ap.associate(station, mobile)
+    install_echo_responder(server)
+
+    first = ping(sim, station, server.primary_address, timeout=2.0)
+    sim.run(until=3)
+    assert first.value is not None
+
+    mobile.move_to(Position(5000, 0))  # way out of range
+    second = ping(sim, station, server.primary_address, timeout=2.0)
+    sim.run(until=10)
+    assert second.value is None
+    assert ap.associations[0].link.stats.get("no_signal_drops") >= 1
+
+
+def test_dissociate_cleans_up():
+    sim = Simulator()
+    net, server, ap, station, mobile = build_wlan_world(sim)
+    assoc = ap.associate(station, mobile)
+    assoc.dissociate()
+    assert not ap.associations
+    assert ap.router.routing_table.lookup(station.primary_address) is None \
+        or not ap.router.routing_table.lookup(
+            station.primary_address).subnet.prefix_len == 32
+    assoc.dissociate()  # idempotent
+
+
+def test_roam_between_two_aps():
+    sim = Simulator()
+    net = Network(sim)
+    server = net.add_node("server")
+    ap1_router = net.add_node("ap1", forwarding=True)
+    ap2_router = net.add_node("ap2", forwarding=True)
+    net.connect(server, ap1_router, Subnet.parse("10.0.1.0/24"), delay=0.002)
+    net.connect(server, ap2_router, Subnet.parse("10.0.2.0/24"), delay=0.002)
+    channel = ChannelModel()
+    std = wlan_standard("802.11b")
+    ap1 = AccessPoint(ap1_router, Position(0, 0), std, channel,
+                      wireless_subnet=Subnet.parse("10.0.9.0/24"))
+    ap2 = AccessPoint(ap2_router, Position(150, 0), std, channel)
+    net.build_routes()
+
+    station = net.add_node("station")
+    station.assign_address(IPAddress.parse("10.0.9.100"))
+    mobile = Mobile(Position(10, 0))
+    install_echo_responder(server)
+
+    assoc1 = ap1.associate(station, mobile)
+    r1 = ping(sim, station, server.primary_address, timeout=2.0)
+    sim.run(until=3)
+
+    # Walk toward AP2 and re-associate.
+    mobile.move_to(Position(140, 0))
+    assoc1.dissociate()
+    ap2.associate(station, mobile)
+    r2 = ping(sim, station, server.primary_address, timeout=2.0)
+    sim.run(until=10)
+
+    assert r1.value is not None
+    assert ap2.associations and not ap1.associations
+
+
+def test_adhoc_two_stations_exchange_data():
+    """Paper: 'mobile devices can form a wireless ad hoc network among
+    themselves and ... perform business transactions'."""
+    sim = Simulator()
+    net = Network(sim)
+    channel = ChannelModel()
+    adhoc = AdHocNetwork(sim, wlan_standard("802.11b"), channel)
+
+    a = net.add_node("pda-a")
+    a.assign_address(IPAddress.parse("192.168.0.1"))
+    b = net.add_node("pda-b")
+    b.assign_address(IPAddress.parse("192.168.0.2"))
+    ma, mb = Mobile(Position(0, 0)), Mobile(Position(20, 0))
+    adhoc.connect(a, ma, b, mb)
+
+    tcp_a = TCPStack(a, mss=512)
+    tcp_b = TCPStack(b, mss=512)
+    listener = tcp_b.listen(9000)
+    got = {}
+
+    def seller(env):
+        conn = yield listener.accept()
+        order = yield conn.recv_exactly(9)
+        got["order"] = order
+        conn.send(b"CONFIRMED")
+
+    def buyer(env):
+        conn = tcp_a.connect(b.primary_address, 9000, mss=512)
+        yield conn.established_event
+        conn.send(b"BUY-1-ABC")
+        reply = yield conn.recv_exactly(9)
+        got["reply"] = reply
+
+    sim.spawn(seller(sim))
+    sim.spawn(buyer(sim))
+    sim.run(until=60)
+    assert got["order"] == b"BUY-1-ABC"
+    assert got["reply"] == b"CONFIRMED"
+
+
+def test_adhoc_out_of_range_refused():
+    sim = Simulator()
+    net = Network(sim)
+    channel = ChannelModel()
+    adhoc = AdHocNetwork(sim, wlan_standard("Bluetooth"), channel)
+    a = net.add_node("a")
+    a.assign_address(IPAddress.parse("192.168.0.1"))
+    b = net.add_node("b")
+    b.assign_address(IPAddress.parse("192.168.0.2"))
+    with pytest.raises(ConnectionError):
+        adhoc.connect(a, Mobile(Position(0, 0)), b, Mobile(Position(50, 0)))
+
+
+def test_half_duplex_airtime_shared():
+    """Two simultaneous flows over one radio link cannot exceed the medium
+    rate: with half-duplex airtime the combined finish time is ~2x one flow's."""
+    sim = Simulator()
+    net, server, ap, station, mobile = build_wlan_world(
+        sim, standard_name="Bluetooth", station_at=(2, 0))
+    assoc = ap.associate(station, mobile)
+    link = assoc.link
+    assert link.airtime is not None and link.airtime.capacity == 1
+
+
+def test_fading_link_retries_and_recovers():
+    sim = Simulator()
+    net, server, ap, station, mobile = build_wlan_world(
+        sim, standard_name="802.11b", station_at=(85, 0), fading_seed=5)
+    ap.associate(station, mobile)
+    install_echo_responder(server)
+    replies = []
+
+    def pinger(env):
+        for _ in range(20):
+            reply = yield ping(sim, station, server.primary_address,
+                               timeout=2.0)
+            replies.append(reply)
+
+    sim.spawn(pinger(sim))
+    sim.run(until=120)
+    ok = sum(1 for r in replies if r is not None)
+    assert ok >= 15  # MAC retries make a marginal link usable
+
+
+def test_adhoc_mesh_multihop_relay():
+    """A -- B -- C chain: A reaches C through B (out of direct range)."""
+    sim = Simulator()
+    net = Network(sim)
+    channel = ChannelModel()
+    adhoc = AdHocNetwork(sim, wlan_standard("802.11b"), channel)
+
+    nodes = []
+    # 802.11b range is ~100 m; stations 80 m apart: neighbours hear each
+    # other, the ends (160 m) do not.
+    for index, x in enumerate([0.0, 80.0, 160.0]):
+        node = net.add_node(f"pda{index}", forwarding=True)
+        node.assign_address(IPAddress.parse(f"192.168.7.{index + 1}"))
+        mobile = Mobile(Position(x, 0))
+        adhoc.join(node, mobile)
+        nodes.append((node, mobile))
+
+    created = adhoc.mesh()
+    assert created == 2  # A-B and B-C only; A-C is out of range
+    adhoc.compute_multihop_routes()
+
+    a, _ = nodes[0]
+    c, _ = nodes[2]
+    install_echo_responder(c)
+    result = ping(sim, a, c.primary_address, timeout=5.0)
+    sim.run(until=20)
+    reply = result.value
+    assert reply is not None
+    assert "pda1" in reply.hops  # the middle station relayed
+
+
+def test_adhoc_mesh_idempotent():
+    sim = Simulator()
+    net = Network(sim)
+    channel = ChannelModel()
+    adhoc = AdHocNetwork(sim, wlan_standard("802.11b"), channel)
+    for index in range(2):
+        node = net.add_node(f"m{index}")
+        node.assign_address(IPAddress.parse(f"192.168.8.{index + 1}"))
+        adhoc.join(node, Mobile(Position(index * 10.0, 0)))
+    assert adhoc.mesh() == 1
+    assert adhoc.mesh() == 0  # already linked
+
+
+def test_adhoc_business_transaction_over_two_hops():
+    """The paper's 'perform business transactions' claim over a relay."""
+    sim = Simulator()
+    net = Network(sim)
+    channel = ChannelModel()
+    adhoc = AdHocNetwork(sim, wlan_standard("802.11b"), channel)
+    stations = []
+    for index, x in enumerate([0.0, 80.0, 160.0]):
+        node = net.add_node(f"trader{index}", forwarding=True)
+        node.assign_address(IPAddress.parse(f"192.168.9.{index + 1}"))
+        adhoc.join(node, Mobile(Position(x, 0)))
+        stations.append(node)
+    adhoc.mesh()
+    adhoc.compute_multihop_routes()
+
+    buyer, _, seller = stations
+    tcp_b = TCPStack(buyer, mss=512)
+    tcp_s = TCPStack(seller, mss=512)
+    listener = tcp_s.listen(7000)
+    outcome = {}
+
+    def sell(env):
+        conn = yield listener.accept()
+        order = yield conn.recv_exactly(10)
+        conn.send(b"SOLD:" + order)
+
+    def buy(env):
+        conn = tcp_b.connect(seller.primary_address, 7000, mss=512)
+        yield conn.established_event
+        conn.send(b"ORDER-0042")
+        outcome["reply"] = yield conn.recv_exactly(15)
+
+    sim.spawn(sell(sim))
+    sim.spawn(buy(sim))
+    sim.run(until=60)
+    assert outcome["reply"] == b"SOLD:ORDER-0042"
