@@ -13,6 +13,7 @@ import pytest
 
 from repro.net import Network, Subnet, TCPStack
 from repro.security import (
+    PaymentError,
     PaymentOrder,
     PaymentProcessor,
     SecureChannel,
@@ -136,14 +137,14 @@ def attack_outcomes() -> dict:
     try:
         processor.authorize(order)  # replay
         outcomes["replay"] = "ACCEPTED (bad)"
-    except Exception as exc:
+    except PaymentError as exc:
         outcomes["replay"] = f"rejected ({type(exc).__name__})"
     tampered = PaymentOrder("ann", "acme", 1, order.nonce + "x",
                             signature=order.signature)
     try:
         processor.authorize(tampered)
         outcomes["tamper"] = "ACCEPTED (bad)"
-    except Exception as exc:
+    except PaymentError as exc:
         outcomes["tamper"] = f"rejected ({type(exc).__name__})"
     return outcomes
 

@@ -5,6 +5,10 @@ Commands:
 * ``quickstart`` — build Figure 2's MC system and run one purchase;
 * ``validate`` — build both figures' systems and print their
   validation reports and structure diagrams;
+* ``lint`` — run the sim-safety linter over the given paths (defaults
+  to the repo's own sources) and exit nonzero on findings;
+* ``check`` — statically model-check the Figure 1/2 reference builds,
+  printing a PASS/FAIL/INCONCLUSIVE verdict per structural claim;
 * ``tables`` — print the paper's five tables as reproduced from the
   model registries (specs only — run ``pytest benchmarks/`` for the
   measured versions);
@@ -66,6 +70,60 @@ def _cmd_validate(args) -> int:
     return failures
 
 
+def _default_lint_paths() -> list[str]:
+    """The repo's own lint targets when they exist, else the package."""
+    import os
+
+    import repro
+
+    package_dir = os.path.dirname(os.path.abspath(repro.__file__))
+    repo_root = os.path.dirname(os.path.dirname(package_dir))
+    paths = [package_dir]
+    for extra in ("benchmarks", "examples", "tests"):
+        candidate = os.path.join(repo_root, extra)
+        if os.path.isdir(candidate):
+            paths.append(candidate)
+    return paths
+
+
+def _cmd_lint(args) -> int:
+    from repro.analysis import lint_paths
+
+    paths = args.paths or _default_lint_paths()
+    try:
+        report = lint_paths(paths)
+    except FileNotFoundError as exc:
+        print(f"python -m repro lint: error: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(report.render_json())
+    else:
+        print(report.render_text())
+    return report.exit_code(strict=args.strict)
+
+
+def _cmd_check(args) -> int:
+    from repro.analysis import Verdict, check_reference_systems
+
+    reports = check_reference_systems(seed=args.seed)
+    failures = 0
+    if args.format == "json":
+        import json
+
+        print(json.dumps({figure: report.to_dict()
+                          for figure, report in reports.items()}, indent=2))
+        failures = sum(len(r.failures) for r in reports.values())
+    else:
+        for figure in ("ec", "mc"):
+            report = reports[figure]
+            print(report.render_text())
+            print()
+            failures += len(report.failures)
+        overall = Verdict.aggregate(r.verdict for r in reports.values())
+        print(f"reference builds: {overall.name}")
+    return 1 if failures else 0
+
+
 def _cmd_tables(args) -> int:
     from repro.apps import ALL_CATEGORIES
     from repro.devices import TABLE2_DEVICES
@@ -101,7 +159,7 @@ def _cmd_info(args) -> int:
           "'A System Model for Mobile Commerce' (ICDCSW'03)")
     print(__doc__.split("Commands:")[0].strip())
     for package in ("sim", "net", "wireless", "devices", "middleware",
-                    "web", "db", "security", "core", "apps"):
+                    "web", "db", "security", "core", "apps", "analysis"):
         print(f"  repro.{package}")
     return 0
 
@@ -126,6 +184,22 @@ def main(argv=None) -> int:
     validate = sub.add_parser("validate",
                               help="validate both figures' structures")
     validate.set_defaults(func=_cmd_validate)
+
+    lint = sub.add_parser(
+        "lint", help="run the sim-safety linter (nonzero exit on findings)")
+    lint.add_argument("paths", nargs="*",
+                      help="files/directories to lint "
+                           "(default: the repo's own sources)")
+    lint.add_argument("--format", default="text", choices=["text", "json"])
+    lint.add_argument("--strict", action="store_true",
+                      help="fail on warnings too, not only errors")
+    lint.set_defaults(func=_cmd_lint)
+
+    check = sub.add_parser(
+        "check", help="static model check of the reference builds")
+    check.add_argument("--format", default="text", choices=["text", "json"])
+    check.add_argument("--seed", type=int, default=0)
+    check.set_defaults(func=_cmd_check)
 
     tables = sub.add_parser("tables", help="print the paper's tables")
     tables.set_defaults(func=_cmd_tables)

@@ -1,0 +1,44 @@
+"""Static analysis: simulation-safety linter and static model checker.
+
+Two engines guard the model *before* anything runs:
+
+* the **linter** (:mod:`repro.analysis.linter`) walks Python sources
+  with an AST pass and a pluggable :class:`~repro.analysis.rules.Rule`
+  registry, flagging determinism hazards (wall-clock reads, unseeded
+  randomness, non-``Event`` yields in simulation processes) and code
+  hygiene problems (bare excepts, mutable defaults, ``__all__`` drift,
+  import cycles);
+* the **model checker** (:mod:`repro.analysis.model_check`) renders
+  verdicts (``PASS``/``FAIL``/``INCONCLUSIVE``) over a built-but-not-run
+  :class:`~repro.core.model.SystemModel`, mapping every Figure 1/2 and
+  Table 3 claim from :mod:`repro.core.requirements` to a machine check.
+"""
+
+from .findings import Finding, SEVERITY_ERROR, SEVERITY_WARNING
+from .linter import LintReport, Linter, lint_paths
+from .model_check import (
+    CheckResult,
+    ModelChecker,
+    ModelCheckReport,
+    Verdict,
+    check_reference_systems,
+)
+from .rules import Rule, RULE_REGISTRY, default_rules, register_rule
+
+__all__ = [
+    "Finding",
+    "SEVERITY_ERROR",
+    "SEVERITY_WARNING",
+    "LintReport",
+    "Linter",
+    "lint_paths",
+    "CheckResult",
+    "ModelChecker",
+    "ModelCheckReport",
+    "Verdict",
+    "check_reference_systems",
+    "Rule",
+    "RULE_REGISTRY",
+    "default_rules",
+    "register_rule",
+]

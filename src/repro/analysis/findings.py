@@ -1,0 +1,39 @@
+"""The linter's output vocabulary: findings and severities."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Finding", "SEVERITY_ERROR", "SEVERITY_WARNING", "SEVERITIES"]
+
+SEVERITY_ERROR = "error"
+SEVERITY_WARNING = "warning"
+SEVERITIES = (SEVERITY_ERROR, SEVERITY_WARNING)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    file: str
+    line: int
+    rule_id: str
+    severity: str
+    message: str
+
+    def __post_init__(self):
+        if self.severity not in SEVERITIES:
+            raise ValueError(f"unknown severity {self.severity!r}")
+
+    def to_dict(self) -> dict:
+        return {
+            "file": self.file,
+            "line": self.line,
+            "rule_id": self.rule_id,
+            "severity": self.severity,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        return (f"{self.file}:{self.line}: "
+                f"{self.severity} [{self.rule_id}] {self.message}")

@@ -1,0 +1,94 @@
+"""Rule base class, parsed-module record, and the rule registry."""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Optional
+
+from ..findings import Finding, SEVERITY_ERROR
+
+__all__ = ["ModuleInfo", "Rule", "RULE_REGISTRY", "register_rule",
+           "default_rules"]
+
+
+@dataclass
+class ModuleInfo:
+    """A parsed source file handed to every rule."""
+
+    path: str                 # display path (relative to the lint root)
+    module: Optional[str]     # dotted module name when importable, or None
+    source: str
+    tree: ast.Module
+    lines: list[str] = field(default_factory=list)
+
+    @classmethod
+    def parse(cls, path: str, source: str,
+              module: Optional[str] = None) -> "ModuleInfo":
+        return cls(
+            path=path,
+            module=module,
+            source=source,
+            tree=ast.parse(source, filename=path),
+            lines=source.splitlines(),
+        )
+
+    def in_package(self, prefix: str) -> bool:
+        """Is this module inside the dotted package ``prefix``?"""
+        if self.module is None:
+            return False
+        return self.module == prefix or self.module.startswith(prefix + ".")
+
+
+class Rule:
+    """One checkable property of the codebase."""
+
+    rule_id: str = ""
+    severity: str = SEVERITY_ERROR
+    description: str = ""
+
+    def finding(self, info: ModuleInfo, line: int, message: str) -> Finding:
+        return Finding(
+            file=info.path,
+            line=line,
+            rule_id=self.rule_id,
+            severity=self.severity,
+            message=message,
+        )
+
+    def check_module(self, info: ModuleInfo) -> Iterator[Finding]:
+        """Findings for a single parsed module."""
+        return iter(())
+
+    def check_project(self,
+                      modules: Iterable[ModuleInfo]) -> Iterator[Finding]:
+        """Findings that need the whole module set (e.g. import graphs)."""
+        return iter(())
+
+
+RULE_REGISTRY: dict[str, type[Rule]] = {}
+
+
+def register_rule(cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    if not cls.rule_id:
+        raise ValueError(f"{cls.__name__} lacks a rule_id")
+    if cls.rule_id in RULE_REGISTRY:
+        raise ValueError(f"duplicate rule id {cls.rule_id!r}")
+    RULE_REGISTRY[cls.rule_id] = cls
+    return cls
+
+
+def default_rules(only: Optional[Iterable[str]] = None) -> list[Rule]:
+    """Instantiate the stock catalogue (optionally a subset by id).
+
+    Importing :mod:`repro.analysis.rules` registers the stock rules;
+    callers normally go through that package.
+    """
+    wanted = set(only) if only is not None else None
+    if wanted is not None:
+        unknown = wanted - set(RULE_REGISTRY)
+        if unknown:
+            raise KeyError(f"unknown rule ids: {sorted(unknown)}")
+    return [cls() for rule_id, cls in sorted(RULE_REGISTRY.items())
+            if wanted is None or rule_id in wanted]

@@ -1,0 +1,207 @@
+"""Code-hygiene rules: exception discipline, defaults, export drift."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from ..findings import Finding, SEVERITY_ERROR, SEVERITY_WARNING
+from .base import ModuleInfo, Rule, register_rule
+
+__all__ = ["BareExceptRule", "BroadExceptRule", "MutableDefaultRule",
+           "ExportDriftRule"]
+
+BROAD_EXCEPTION_NAMES = {"Exception", "BaseException"}
+
+
+@register_rule
+class BareExceptRule(Rule):
+    """``except:`` with no exception type swallows Interrupt and
+    SimulationError, silently corrupting the event loop."""
+
+    rule_id = "bare-except"
+    severity = SEVERITY_ERROR
+    description = "bare 'except:' clause"
+
+    def check_module(self, info: ModuleInfo) -> Iterator[Finding]:
+        for node in ast.walk(info.tree):
+            if isinstance(node, ast.ExceptHandler) and node.type is None:
+                yield self.finding(
+                    info, node.lineno,
+                    "bare 'except:' swallows kernel Interrupt/"
+                    "SimulationError; name the exceptions you expect",
+                )
+
+
+def _exception_names(node: ast.AST) -> list[tuple[str, int]]:
+    """(name, lineno) for each exception class named by a handler type."""
+    if isinstance(node, ast.Tuple):
+        out = []
+        for element in node.elts:
+            out.extend(_exception_names(element))
+        return out
+    if isinstance(node, ast.Name):
+        return [(node.id, node.lineno)]
+    if isinstance(node, ast.Attribute):
+        return [(node.attr, node.lineno)]
+    return []
+
+
+@register_rule
+class BroadExceptRule(Rule):
+    """``except Exception``/``except BaseException`` catches the kernel's
+    control-flow exceptions too; catch the specific failures instead, or
+    re-raise Interrupt/SimulationError first and suppress the finding
+    with a justification."""
+
+    rule_id = "broad-except"
+    severity = SEVERITY_ERROR
+    description = "overly broad exception handler"
+
+    def check_module(self, info: ModuleInfo) -> Iterator[Finding]:
+        for node in ast.walk(info.tree):
+            if not isinstance(node, ast.ExceptHandler) or node.type is None:
+                continue
+            for name, lineno in _exception_names(node.type):
+                if name in BROAD_EXCEPTION_NAMES:
+                    yield self.finding(
+                        info, lineno,
+                        f"'except {name}' also catches Interrupt/"
+                        "SimulationError; catch the specific exceptions "
+                        "(and re-raise kernel ones first if a fault "
+                        "barrier is intended)",
+                    )
+
+
+MUTABLE_CALLS = {"list", "dict", "set", "bytearray", "defaultdict",
+                 "Counter", "OrderedDict", "deque"}
+
+
+def _mutable_default(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.List):
+        return "[]"
+    if isinstance(node, ast.Dict):
+        return "{}"
+    if isinstance(node, (ast.Set, ast.SetComp, ast.ListComp, ast.DictComp)):
+        return "a mutable comprehension/literal"
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name) \
+            and node.func.id in MUTABLE_CALLS:
+        return f"{node.func.id}()"
+    return None
+
+
+@register_rule
+class MutableDefaultRule(Rule):
+    """Mutable default arguments are shared across calls — hidden global
+    state that leaks between simulation runs."""
+
+    rule_id = "mutable-default"
+    severity = SEVERITY_ERROR
+    description = "mutable default argument"
+
+    def check_module(self, info: ModuleInfo) -> Iterator[Finding]:
+        for node in ast.walk(info.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                     ast.Lambda)):
+                continue
+            name = getattr(node, "name", "<lambda>")
+            defaults = list(node.args.defaults) + \
+                [d for d in node.args.kw_defaults if d is not None]
+            for default in defaults:
+                shown = _mutable_default(default)
+                if shown is not None:
+                    yield self.finding(
+                        info, default.lineno,
+                        f"{name}() has mutable default {shown}: state is "
+                        "shared across calls; default to None and build "
+                        "inside",
+                    )
+
+
+def _module_scope_names(tree: ast.Module) -> tuple[set[str], bool]:
+    """Names bound at module scope; bool is True when ``import *`` seen."""
+    names: set[str] = set()
+    star = False
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            names.add(node.name)
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                names.add(alias.asname or alias.name.split(".")[0])
+        elif isinstance(node, ast.ImportFrom):
+            for alias in node.names:
+                if alias.name == "*":
+                    star = True
+                else:
+                    names.add(alias.asname or alias.name)
+        elif isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            targets = (node.targets if isinstance(node, ast.Assign)
+                       else [node.target])
+            for target in targets:
+                for sub in ast.walk(target):
+                    if isinstance(sub, ast.Name):
+                        names.add(sub.id)
+        elif isinstance(node, (ast.If, ast.Try)):
+            for sub in ast.walk(node):
+                if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                    ast.ClassDef)):
+                    names.add(sub.name)
+                elif isinstance(sub, ast.Assign):
+                    for target in sub.targets:
+                        if isinstance(target, ast.Name):
+                            names.add(target.id)
+    return names, star
+
+
+def _declared_all(tree: ast.Module) -> Optional[tuple[list[str], int]]:
+    for node in tree.body:
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name) and target.id == "__all__":
+                    if isinstance(node.value, (ast.List, ast.Tuple)):
+                        entries = [e.value for e in node.value.elts
+                                   if isinstance(e, ast.Constant)
+                                   and isinstance(e.value, str)]
+                        return entries, node.lineno
+    return None
+
+
+@register_rule
+class ExportDriftRule(Rule):
+    """``__all__`` must track the module: every listed name defined,
+    no duplicates, and every public top-level class/function listed."""
+
+    rule_id = "export-drift"
+    severity = SEVERITY_WARNING
+    description = "__all__ out of sync with module definitions"
+
+    def check_module(self, info: ModuleInfo) -> Iterator[Finding]:
+        declared = _declared_all(info.tree)
+        if declared is None:
+            return
+        entries, lineno = declared
+        defined, star_import = _module_scope_names(info.tree)
+
+        seen: set[str] = set()
+        for entry in entries:
+            if entry in seen:
+                yield self.finding(
+                    info, lineno, f"__all__ lists {entry!r} twice")
+            seen.add(entry)
+            if not star_import and entry not in defined:
+                yield self.finding(
+                    info, lineno,
+                    f"__all__ exports {entry!r} which is not defined or "
+                    "imported in the module",
+                )
+
+        for node in info.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)) \
+                    and not node.name.startswith("_") \
+                    and node.name not in seen:
+                yield self.finding(
+                    info, node.lineno,
+                    f"public {node.name!r} is missing from __all__",
+                )

@@ -1,0 +1,72 @@
+"""Kernel-hygiene rule: simulation processes must yield Events.
+
+The kernel resumes a process only when the yielded :class:`Event`
+fires; yielding a bare constant is always a latent
+``SimulationError`` at run time.  This rule finds it statically.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..findings import Finding, SEVERITY_ERROR
+from .base import ModuleInfo, Rule, register_rule
+
+__all__ = ["YieldEventRule"]
+
+# Parameter names that mark a function as a simulation process.
+PROCESS_PARAMS = frozenset({"env", "sim"})
+
+
+def _is_process(func: ast.AST) -> bool:
+    args = func.args
+    names = {a.arg for a in args.posonlyargs + args.args + args.kwonlyargs}
+    return bool(names & PROCESS_PARAMS)
+
+
+def _own_yields(func: ast.AST) -> Iterator[ast.Yield]:
+    """Yield expressions belonging to ``func`` itself, not nested defs."""
+    stack = list(ast.iter_child_nodes(func))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)):
+            continue
+        if isinstance(node, ast.Yield):
+            yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+@register_rule
+class YieldEventRule(Rule):
+    """Processes (functions taking ``env``/``sim``) may only yield Events.
+
+    A ``yield`` of a literal constant (``yield``, ``yield None``,
+    ``yield 5``, ``yield "x"``) inside such a function can never be a
+    kernel :class:`Event` and would raise ``SimulationError`` when the
+    process runs.
+    """
+
+    rule_id = "yield-event"
+    severity = SEVERITY_ERROR
+    description = ("simulation process yields a bare constant instead of "
+                   "an Event")
+
+    def check_module(self, info: ModuleInfo) -> Iterator[Finding]:
+        for node in ast.walk(info.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if not _is_process(node):
+                continue
+            for yielded in _own_yields(node):
+                value = yielded.value
+                if value is None or isinstance(value, ast.Constant):
+                    shown = ("<nothing>" if value is None
+                             else repr(value.value))
+                    yield self.finding(
+                        info, yielded.lineno,
+                        f"process {node.name!r} yields {shown}; the kernel "
+                        "only accepts Event subclasses (timeout(), "
+                        "recv(), ...)",
+                    )

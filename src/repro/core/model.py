@@ -122,6 +122,29 @@ class SystemModel:
                 out.append(edge.source)
         return out
 
+    def dangling_edges(self) -> list[Edge]:
+        """Edges whose source or target names no known component."""
+        return [e for e in self._edges
+                if e.source not in self._components
+                or e.target not in self._components]
+
+    def unreachable_components(self, start_kind: str) -> list[str]:
+        """Component names not reachable from any ``start_kind`` component.
+
+        Traverses both association and data-flow edges in both
+        directions; used by the static model checker to find orphaned
+        hosts/stations before anything runs.
+        """
+        frontier = [c.name for c in self.components(start_kind)]
+        seen = set(frontier)
+        while frontier:
+            name = frontier.pop()
+            for neighbour in self.neighbours(name):
+                if neighbour in self._components and neighbour not in seen:
+                    seen.add(neighbour)
+                    frontier.append(neighbour)
+        return sorted(set(self._components) - seen)
+
     def flow_path_exists(self, chain: tuple) -> bool:
         """Is there a data-flow path visiting the kinds of ``chain`` in order?"""
         frontier = [c.name for c in self.components(chain[0])]
@@ -129,7 +152,10 @@ class SystemModel:
             next_frontier = []
             for name in frontier:
                 for neighbour in self.neighbours(name, EDGE_DATA_FLOW):
-                    if self._components[neighbour].kind == next_kind:
+                    # Dangling edges must not crash a structural check;
+                    # the model checker reports them separately.
+                    known = self._components.get(neighbour)
+                    if known is not None and known.kind == next_kind:
                         next_frontier.append(neighbour)
             if not next_frontier:
                 return False

@@ -22,7 +22,9 @@ from typing import Callable, Optional
 from ..sim import StatSummary
 
 __all__ = ["RequirementResult", "RequirementsReport", "check_requirements",
-           "run_interoperability_matrix", "REQUIREMENT_DESCRIPTIONS"]
+           "run_interoperability_matrix", "REQUIREMENT_DESCRIPTIONS",
+           "Claim", "STRUCTURAL_CLAIMS", "structural_claim",
+           "claims_for_figure"]
 
 REQUIREMENT_DESCRIPTIONS = {
     1: "end users can perform transactions easily, timely, ubiquitously",
@@ -31,6 +33,75 @@ REQUIREMENT_DESCRIPTIONS = {
     4: "maximum interoperability across technologies",
     5: "program/data independence under component change",
 }
+
+
+@dataclass(frozen=True)
+class Claim:
+    """One falsifiable structural claim the paper's figures/tables make.
+
+    Claims are *static*: each is decided by
+    :class:`repro.analysis.model_check.ModelChecker` over a
+    built-but-not-run system graph, complementing the five *runtime*
+    requirements below (which need a transaction ledger).  ``figures``
+    names the reference structures the claim applies to (``"ec"``,
+    ``"mc"`` or both).
+    """
+
+    claim_id: str
+    reference: str          # where the paper makes the claim
+    description: str
+    figures: tuple[str, ...] = ("ec", "mc")
+
+
+# The static claim matrix: every Figure 1/2 and Table 3 structural
+# requirement, keyed for the model checker.
+STRUCTURAL_CLAIMS: tuple[Claim, ...] = (
+    Claim("EC-COMPONENTS", "Figure 1",
+          "an EC system contains applications, client computers, wired "
+          "networks and host computers", ("ec",)),
+    Claim("EC-NO-WIRELESS", "Figure 1",
+          "an EC system has no wireless networks component", ("ec",)),
+    Claim("EC-FLOW", "Figure 1",
+          "data/control flows users -> client computers -> wired "
+          "networks -> host computers", ("ec",)),
+    Claim("MC-COMPONENTS", "Figure 2",
+          "an MC system contains applications, mobile stations, wireless "
+          "networks, wired networks and host computers (middleware "
+          "optional)", ("mc",)),
+    Claim("MC-FLOW", "Figure 2",
+          "data/control flows users -> mobile stations -> wireless "
+          "networks -> wired networks -> host computers", ("mc",)),
+    Claim("MC-APP-HOSTED", "Figure 2",
+          "every mounted application is associated with a host computer",
+          ("mc",)),
+    Claim("MC-STATION-BEARER", "Figure 2",
+          "mobile stations have an attachable wireless bearer", ("mc",)),
+    Claim("MC-MIDDLEWARE-COMPAT", "Table 3",
+          "the mounted middleware matches its protocol family: WAP "
+          "requires a hosted WAP gateway, i-mode a centre with cHTML "
+          "adaptation, Palm a web-clipping proxy", ("mc",)),
+    Claim("HOST-INTERNALS", "Section 7",
+          "host computers contain web servers, database servers and "
+          "application programs"),
+    Claim("EDGES-RESOLVED", "Figures 1-2",
+          "every association/data-flow edge connects two existing "
+          "components"),
+    Claim("REACHABLE", "Figures 1-2",
+          "every component is reachable from the users component"),
+)
+
+_CLAIMS_BY_ID = {c.claim_id: c for c in STRUCTURAL_CLAIMS}
+
+
+def structural_claim(claim_id: str) -> Claim:
+    return _CLAIMS_BY_ID[claim_id]
+
+
+def claims_for_figure(figure: str) -> list[Claim]:
+    """The claims applying to ``"ec"`` or ``"mc"`` reference structures."""
+    if figure not in ("ec", "mc"):
+        raise ValueError(f"unknown figure {figure!r} (want 'ec' or 'mc')")
+    return [c for c in STRUCTURAL_CLAIMS if figure in c.figures]
 
 
 @dataclass

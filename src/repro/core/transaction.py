@@ -15,7 +15,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
 from ..middleware import MiddlewareResponse
-from ..sim import Event, Simulator
+from ..sim import Event, Interrupt, SimulationError, Simulator
 
 __all__ = ["TransactionRecord", "TransactionContext", "TransactionEngine"]
 
@@ -127,7 +127,11 @@ class TransactionEngine:
                 result = yield from flow(context)
                 record.ok = True
                 record.result = result
-            except Exception as exc:
+            except (Interrupt, SimulationError):
+                # Kernel control flow must not be ledgered as a mere
+                # failed transaction.
+                raise
+            except Exception as exc:  # repro: noqa[broad-except] ledger barrier
                 record.ok = False
                 record.error = f"{type(exc).__name__}: {exc}"
             record.finished_at = env.now

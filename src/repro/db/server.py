@@ -17,8 +17,10 @@ from ..net.addressing import IPAddress
 from ..net.node import Node
 from ..net.tcp import TCPConnection, TCPStack, tcp_stack
 from ..sim import Counter, Event
-from .engine import Database
-from .transactions import TransactionManager
+from .engine import Database, IntegrityError, SchemaError
+from .query import QueryError
+from .sql import SQLSyntaxError
+from .transactions import DeadlockError, TransactionError, TransactionManager
 
 __all__ = ["DatabaseServer", "DatabaseClient", "encode_message",
            "MessageReader", "DEFAULT_DB_PORT"]
@@ -119,7 +121,8 @@ class DatabaseServer:
         active = txn if txn is not None else self.manager.begin()
         try:
             result = yield active.execute(sql, params)
-        except Exception as exc:
+        except (SQLSyntaxError, QueryError, SchemaError, IntegrityError,
+                TransactionError, DeadlockError) as exc:
             # execute() already rolled the transaction back.
             self.stats.incr("errors")
             return None, {"ok": False, "error": str(exc)}

@@ -14,8 +14,8 @@ from dataclasses import dataclass, field
 from typing import Any, Optional
 
 from ..sim import Event, Simulator
-from .engine import Database, Table
-from .query import Executor, QueryResult
+from .engine import Database, IntegrityError, SchemaError, Table
+from .query import Executor, QueryError, QueryResult
 from .sql import CreateIndex, CreateTable, Delete, Insert, Select, Update, parse
 
 __all__ = ["TransactionError", "DeadlockError", "Transaction",
@@ -173,7 +173,8 @@ class Transaction:
                 if writes and table_name in self.manager.database.tables:
                     self._snapshot(table_name)
                 outcome = self._executor.execute(statement, params)
-            except Exception as exc:
+            except (DeadlockError, TransactionError, QueryError,
+                    SchemaError, IntegrityError) as exc:
                 self.rollback()
                 result.fail(exc)
                 return

@@ -15,6 +15,8 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from ..sim import Event
+from .hardware import BatteryDeadError, OutOfMemoryError
+from .os import TaskLimitError
 from .station import MobileStation
 
 __all__ = ["RenderedPage", "Microbrowser", "UnsupportedContentError",
@@ -100,7 +102,8 @@ class Microbrowser:
                     truncated=truncated,
                     source_bytes=size,
                 ))
-            except Exception as exc:
+            except (BatteryDeadError, OutOfMemoryError,
+                    TaskLimitError) as exc:
                 # Device faults (dead battery, task limits) surface to
                 # whoever awaits the render, not as a simulator crash.
                 result.fail(exc)

@@ -13,7 +13,8 @@ from dataclasses import dataclass
 
 from ..sim import Event, Simulator
 
-__all__ = ["CPU", "Memory", "Battery", "OutOfMemoryError", "BatteryDeadError"]
+__all__ = ["CPU", "Memory", "Battery", "DrainRates", "OutOfMemoryError",
+           "BatteryDeadError"]
 
 
 class OutOfMemoryError(Exception):

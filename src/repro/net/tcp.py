@@ -170,10 +170,8 @@ class TCPConnection:
         def waiter(env):
             if self._rx_buffer:
                 chunk, self._rx_buffer = self._rx_buffer, b""
-                ev.succeed(chunk)
-                return
-                yield  # pragma: no cover - makes this a generator
-            chunk = yield self._rx_stream.get()
+            else:
+                chunk = yield self._rx_stream.get()
             ev.succeed(chunk)
 
         self.sim.spawn(waiter(self.sim), name="tcp-recv")

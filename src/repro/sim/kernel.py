@@ -195,7 +195,9 @@ class Process(Event):
             if not self.triggered:
                 self.succeed(stop.value)
             return
-        except BaseException as exc:
+        except BaseException as exc:  # repro: noqa[broad-except] kernel trampoline
+            # The process trampoline is the one place every escaped
+            # exception must be routed into Event.fail / strict re-raise.
             self.sim._active_process = None
             if not self.triggered:
                 if self.sim.strict:

@@ -17,7 +17,7 @@ from typing import Any, Deque, Optional
 
 from .kernel import Event, Simulator, SimulationError
 
-__all__ = ["Request", "Resource", "Store", "Channel"]
+__all__ = ["Request", "Resource", "PriorityResource", "Store", "Channel"]
 
 
 class Request(Event):

@@ -18,7 +18,8 @@ from typing import Callable, Optional
 
 from ..net.node import Node
 from ..net.tcp import TCPConnection, TCPStack, tcp_stack
-from ..sim import Counter, Resource
+from ..security.auth import AuthenticationError
+from ..sim import Counter, Interrupt, Resource, SimulationError
 from .cgi import CGIContext, CGIRegistry
 from .http import HTTPParseError, HTTPRequest, HTTPResponse, RequestParser
 from .sessions import SessionStore
@@ -176,7 +177,12 @@ class WebServer:
         )
         try:
             response = yield from program.run(context)
-        except Exception as exc:
+        except (Interrupt, SimulationError):
+            # Kernel control flow is never a CGI failure; let it
+            # propagate to the event loop.
+            raise
+        except Exception as exc:  # repro: noqa[broad-except] CGI barrier
+            # Any program error becomes a 500 for the client.
             self.stats.incr("program_errors")
             response = HTTPResponse.error(f"{type(exc).__name__}: {exc}")
         if is_new:
@@ -195,12 +201,18 @@ class WebServer:
         header = request.headers.get("authorization", "")
         if header.lower().startswith("basic "):
             import base64
+            import binascii
             try:
                 decoded = base64.b64decode(header[6:]).decode()
                 username, _, password = decoded.partition(":")
                 self.services["users"].verify(username, password)
                 return None
-            except Exception:
+            except (Interrupt, SimulationError):
+                raise
+            except (AuthenticationError, UnicodeDecodeError,
+                    binascii.Error, ValueError):
+                # Malformed base64, undecodable bytes or bad
+                # credentials all mean the same thing: challenge again.
                 pass
         self.stats.incr("auth_failures")
         return HTTPResponse(

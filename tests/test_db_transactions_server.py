@@ -31,7 +31,7 @@ def run_txn(sim, generator):
         try:
             result = yield from generator(env)
             outcome["result"] = result
-        except Exception as exc:
+        except (DeadlockError, TransactionError) as exc:
             outcome["error"] = exc
 
     sim.spawn(wrapper(sim))

@@ -282,7 +282,7 @@ def test_yield_non_event_rejected():
     sim = Simulator()
 
     def bad(env):
-        yield 42
+        yield 42  # repro: noqa[yield-event] deliberately malformed process
 
     sim.spawn(bad(sim))
     with pytest.raises(SimulationError):
