@@ -11,6 +11,7 @@ import pytest
 
 from repro.apps import ALL_CATEGORIES
 from repro.core import MCSystemBuilder, TransactionEngine
+from repro.obs import format_breakdown, install_tracer, layer_breakdown
 
 from helpers import emit, emit_table, run_transaction
 
@@ -62,31 +63,44 @@ def flow_for(apps, category):
 
 def run_all_categories():
     system, apps, handle = build_world()
+    tracer = install_tracer(system.sim)
     engine = TransactionEngine(system)
     outcomes = {}
     for category in PAPER_ROWS:
         record = run_transaction(system, engine, handle,
                                  flow_for(apps, category))
         outcomes[category] = record
-    return outcomes
+    return outcomes, tracer
+
+
+def component_latency(tracer, record):
+    """Per-component breakdown cell for one transaction, or ``-``."""
+    if record.trace_id is None:
+        return "-"
+    try:
+        breakdown = layer_breakdown(tracer, trace_id=record.trace_id)
+    except ValueError:
+        return "-"
+    return format_breakdown(breakdown)
 
 
 def test_table1_applications(benchmark):
-    outcomes = benchmark.pedantic(run_all_categories, rounds=1,
-                                  iterations=1)
+    outcomes, tracer = benchmark.pedantic(run_all_categories, rounds=1,
+                                          iterations=1)
     rows = []
     for category, (major, clients) in PAPER_ROWS.items():
         record = outcomes[category]
         status = "OK" if record.ok else f"FAILED: {record.error[:30]}"
         rows.append([
             category, major[:46], clients[:34],
-            f"{record.requests} req", f"{record.latency:.2f}s", status,
+            f"{record.requests} req", f"{record.latency:.2f}s",
+            component_latency(tracer, record), status,
         ])
     emit_table(
         "Table 1 - Major mobile commerce applications "
         "(paper columns + measured run)",
         ["Category", "Major application (paper)", "Clients (paper)",
-         "Requests", "Latency", "Outcome"],
+         "Requests", "Latency", "Per-component latency", "Outcome"],
         rows,
     )
     failed = [c for c, r in outcomes.items() if not r.ok]

@@ -3,6 +3,9 @@
 Commands:
 
 * ``quickstart`` — build Figure 2's MC system and run one purchase;
+* ``trace`` — run one application scenario with the span tracer
+  installed and print the per-layer latency breakdown (optionally
+  exporting the full trace as JSON);
 * ``validate`` — build both figures' systems and print their
   validation reports and structure diagrams;
 * ``lint`` — run the sim-safety linter over the given paths (defaults
@@ -44,6 +47,79 @@ def _cmd_quickstart(args) -> int:
     print(f"  {'OK' if record.ok else record.error} "
           f"in {record.latency:.3f}s "
           f"({record.bytes_received} bytes)")
+    return 0 if record.ok else 1
+
+
+def _flow_for(app, category: str):
+    """The representative end-to-end flow for an application category."""
+    return {
+        "commerce": lambda: app.browse_and_buy(account="ann", user="ann"),
+        "education": lambda: app.attend_class(),
+        "erp": lambda: app.manage_resources(),
+        "entertainment": lambda: app.buy_and_download(account="ann"),
+        "healthcare": lambda: app.rounds(),
+        "inventory": lambda: app.driver_rounds(),
+        "traffic": lambda: app.navigate(),
+        "travel": lambda: app.book_trip(),
+    }[category]()
+
+
+def _cmd_trace(args) -> int:
+    import json
+    import os
+
+    from repro.apps import ALL_CATEGORIES
+    from repro.core import MCSystemBuilder, TransactionEngine
+    from repro.obs import (
+        install_profiler,
+        install_tracer,
+        layer_breakdown,
+        render_breakdown_table,
+        trace_to_dict,
+    )
+
+    # Accept both a bare category name and an examples/<name> spelling.
+    category = os.path.basename(args.scenario).replace(".py", "")
+    if category not in ALL_CATEGORIES:
+        print(f"unknown scenario {args.scenario!r}; pick one of: "
+              f"{', '.join(sorted(ALL_CATEGORIES))}", file=sys.stderr)
+        return 2
+    system = MCSystemBuilder(
+        middleware=args.middleware,
+        bearer=(args.bearer_kind, args.bearer),
+    ).build()
+    app = ALL_CATEGORIES[category]()
+    system.mount_application(app)
+    system.host.payment.open_account("ann", 1_000_000)
+    handle = system.add_station(args.device)
+    tracer = install_tracer(system.sim)
+    profiler = install_profiler(system.sim) if args.profile else None
+    engine = TransactionEngine(system)
+    done = engine.run_flow(handle, _flow_for(app, category))
+    system.run(until=600)
+    record = done.value
+
+    print(f"{category}: {record.flow_name} on {args.device} over "
+          f"{args.middleware}/{args.bearer}")
+    breakdown = layer_breakdown(tracer, trace_id=record.trace_id)
+    print(render_breakdown_table(breakdown))
+    span_sum = sum(breakdown.values())
+    print(f"span-sum {span_sum:.6f}s vs end-to-end latency "
+          f"{record.latency:.6f}s "
+          f"({len(tracer.for_trace(record.trace_id))} spans)")
+    print(f"outcome: {'OK' if record.ok else record.error}")
+    if args.json:
+        with open(args.json, "w") as handle_out:
+            json.dump(trace_to_dict(tracer, trace_id=record.trace_id),
+                      handle_out, indent=2, sort_keys=True)
+        print(f"trace written to {args.json}")
+    if profiler is not None:
+        summary = profiler.summary()
+        print(f"\nkernel: {summary['events_processed']} events, "
+              f"mean queue depth {summary['mean_queue_depth']:.1f}, "
+              f"max {summary['max_queue_depth']:.0f}")
+        for name, count in profiler.top_resumed(8):
+            print(f"  {count:6d} resumes  {name}")
     return 0 if record.ok else 1
 
 
@@ -180,6 +256,22 @@ def main(argv=None) -> int:
     quickstart.add_argument("--bearer-kind", default=None,
                             choices=["cellular", "wlan"])
     quickstart.set_defaults(func=_cmd_quickstart)
+
+    trace = sub.add_parser(
+        "trace", help="run one scenario traced; print layer breakdown")
+    trace.add_argument("scenario", nargs="?", default="commerce",
+                       help="application category (e.g. commerce, travel)")
+    trace.add_argument("--device", default="Toshiba E740")
+    trace.add_argument("--middleware", default="WAP",
+                       choices=["WAP", "i-mode", "Palm"])
+    trace.add_argument("--bearer", default="GPRS")
+    trace.add_argument("--bearer-kind", default=None,
+                       choices=["cellular", "wlan"])
+    trace.add_argument("--json", default=None, metavar="PATH",
+                       help="also export the full trace as JSON")
+    trace.add_argument("--profile", action="store_true",
+                       help="print kernel profiling summary")
+    trace.set_defaults(func=_cmd_trace)
 
     validate = sub.add_parser("validate",
                               help="validate both figures' structures")

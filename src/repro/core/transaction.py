@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
 from ..middleware import MiddlewareResponse
+from ..obs import ctx_of, end_span, start_span
 from ..sim import Event, Interrupt, SimulationError, Simulator
 
 __all__ = ["TransactionRecord", "TransactionContext", "TransactionEngine"]
@@ -38,6 +39,8 @@ class TransactionRecord:
     bytes_received: int = 0
     render_seconds: float = 0.0
     steps: list[str] = field(default_factory=list)
+    # Id of this transaction's root span when a tracer was installed.
+    trace_id: Optional[int] = None
 
     @property
     def latency(self) -> float:
@@ -48,22 +51,26 @@ class TransactionContext:
     """What a flow sees: fetch/submit/render primitives plus bookkeeping."""
 
     def __init__(self, engine: "TransactionEngine", handle,
-                 record: TransactionRecord):
+                 record: TransactionRecord, trace=None):
         self.engine = engine
         self.handle = handle
         self.record = record
         self.system = engine.system
+        # TraceContext of the transaction's root span (None untraced);
+        # every middleware call and render parents to it.
+        self.trace = trace
 
     # -- network I/O ------------------------------------------------------
     def get(self, path: str):
         """Generator: GET a host path through the middleware session."""
-        response = yield self.handle.session.get(self.system.url(path))
+        response = yield self.handle.session.get(self.system.url(path),
+                                                 trace=self.trace)
         self._account(path, response)
         return response
 
     def post(self, path: str, form: dict):
         response = yield self.handle.session.post(self.system.url(path),
-                                                  form)
+                                                  form, trace=self.trace)
         self._account(path, response)
         return response
 
@@ -80,7 +87,8 @@ class TransactionContext:
         browser = getattr(self.handle, "browser", None)
         if browser is None:
             return None
-        page = yield browser.render(response.body, response.content_type)
+        page = yield browser.render(response.body, response.content_type,
+                                    trace=self.trace)
         self.record.render_seconds += page.render_seconds
         self.record.steps.append(
             f"rendered {page.source_bytes}B in {page.render_seconds:.3f}s"
@@ -119,7 +127,12 @@ class TransactionEngine:
             started_at=self.sim.now,
         )
         self.records.append(record)
-        context = TransactionContext(self, handle, record)
+        root = start_span(self.sim, f"txn.{record.flow_name}", "app",
+                          client=client_name)
+        if root is not None:
+            record.trace_id = root.trace_id
+        context = TransactionContext(self, handle, record,
+                                     trace=ctx_of(root))
         done = self.sim.event()
 
         def runner(env):
@@ -135,6 +148,7 @@ class TransactionEngine:
                 record.ok = False
                 record.error = f"{type(exc).__name__}: {exc}"
             record.finished_at = env.now
+            end_span(self.sim, root, ok=record.ok)
             done.succeed(record)
 
         self.sim.spawn(runner(self.sim), name=f"txn-{record.txn_id}")

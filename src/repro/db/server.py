@@ -16,14 +16,15 @@ from typing import Optional
 from ..net.addressing import IPAddress
 from ..net.node import Node
 from ..net.tcp import TCPConnection, TCPStack, tcp_stack
+from ..obs import end_span, start_span
 from ..sim import Counter, Event
 from .engine import Database, IntegrityError, SchemaError
 from .query import QueryError
 from .sql import SQLSyntaxError
 from .transactions import DeadlockError, TransactionError, TransactionManager
 
-__all__ = ["DatabaseServer", "DatabaseClient", "encode_message",
-           "MessageReader", "DEFAULT_DB_PORT"]
+__all__ = ["DatabaseServer", "DatabaseClient", "TracedDatabaseClient",
+           "encode_message", "MessageReader", "DEFAULT_DB_PORT"]
 
 DEFAULT_DB_PORT = 5432
 BASE_SERVICE_TIME = 0.000_5
@@ -95,10 +96,13 @@ class DatabaseServer:
                     txn.rollback()
                 return
             for request in reader.feed(chunk):
-                txn, reply = yield from self._handle(request, txn)
+                # conn.trace was stamped by TCP from the request's own
+                # data segments (packet metadata, zero wire bytes).
+                txn, reply = yield from self._handle(request, txn,
+                                                     parent=conn.trace)
                 conn.send(encode_message(reply))
 
-    def _handle(self, request: dict, txn):
+    def _handle(self, request: dict, txn, parent=None):
         if request.get("begin"):
             if txn is not None:
                 txn.rollback()
@@ -118,6 +122,11 @@ class DatabaseServer:
 
         sql = request.get("sql", "")
         params = tuple(request.get("params", ()))
+        span = None
+        if self.sim.tracer is not None and parent is not None:
+            span = start_span(self.sim, "db.query", "db", parent=parent,
+                              sql=sql.split(None, 1)[0].lower()
+                              if sql else "")
         active = txn if txn is not None else self.manager.begin()
         try:
             result = yield active.execute(sql, params)
@@ -125,10 +134,12 @@ class DatabaseServer:
                 TransactionError, DeadlockError) as exc:
             # execute() already rolled the transaction back.
             self.stats.incr("errors")
+            end_span(self.sim, span, ok=False)
             return None, {"ok": False, "error": str(exc)}
         yield self.sim.timeout(
             BASE_SERVICE_TIME + PER_ROW_SERVICE_TIME * len(result.rows)
         )
+        end_span(self.sim, span, ok=True, rows=len(result.rows))
         if txn is None:
             active.commit()
         self.stats.incr("queries")
@@ -163,20 +174,21 @@ class DatabaseClient:
         self._conn = self.tcp.connect(self.server_address, self.port)
         return self._conn.established_event
 
-    def query(self, sql: str, params: tuple = ()) -> Event:
+    def query(self, sql: str, params: tuple = (), trace=None) -> Event:
         """Event yielding the server's reply dict."""
-        return self._roundtrip({"sql": sql, "params": list(params)})
+        return self._roundtrip({"sql": sql, "params": list(params)},
+                               trace=trace)
 
-    def begin(self) -> Event:
-        return self._roundtrip({"begin": True})
+    def begin(self, trace=None) -> Event:
+        return self._roundtrip({"begin": True}, trace=trace)
 
-    def commit(self) -> Event:
-        return self._roundtrip({"commit": True})
+    def commit(self, trace=None) -> Event:
+        return self._roundtrip({"commit": True}, trace=trace)
 
-    def rollback(self) -> Event:
-        return self._roundtrip({"rollback": True})
+    def rollback(self, trace=None) -> Event:
+        return self._roundtrip({"rollback": True}, trace=trace)
 
-    def _roundtrip(self, request: dict) -> Event:
+    def _roundtrip(self, request: dict, trace=None) -> Event:
         if self._conn is None:
             raise RuntimeError("call connect() first")
         result = self.sim.event()
@@ -185,6 +197,10 @@ class DatabaseClient:
             grant = self._mutex.request()
             yield grant
             try:
+                if trace is not None:
+                    # Stamp under the mutex: a concurrent caller must
+                    # not relabel segments of an in-flight request.
+                    self._conn.trace = trace
                 self._conn.send(encode_message(request))
                 while not self._pending:
                     chunk = yield self._conn.recv()
@@ -203,3 +219,32 @@ class DatabaseClient:
     def close(self) -> None:
         if self._conn is not None:
             self._conn.close()
+
+
+class TracedDatabaseClient:
+    """Per-request view of a shared :class:`DatabaseClient` that injects
+    one TraceContext into every call.
+
+    The underlying client is shared by all concurrent requests, so it
+    cannot hold a "current trace" itself; this wrapper binds the trace
+    per request instead.  Everything else delegates unchanged.
+    """
+
+    def __init__(self, client, trace):
+        self._client = client
+        self.trace = trace
+
+    def query(self, sql: str, params: tuple = ()) -> Event:
+        return self._client.query(sql, params, trace=self.trace)
+
+    def begin(self) -> Event:
+        return self._client.begin(trace=self.trace)
+
+    def commit(self) -> Event:
+        return self._client.commit(trace=self.trace)
+
+    def rollback(self) -> Event:
+        return self._client.rollback(trace=self.trace)
+
+    def __getattr__(self, name):
+        return getattr(self._client, name)

@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from ..obs import end_span, start_span
 from ..sim import Event
 from .hardware import BatteryDeadError, OutOfMemoryError
 from .os import TaskLimitError
@@ -67,7 +68,7 @@ class Microbrowser:
     def accepts(self, content_type: str) -> bool:
         return content_type in self.accepted_types
 
-    def render(self, body: bytes, content_type: str) -> Event:
+    def render(self, body: bytes, content_type: str, trace=None) -> Event:
         """Render a document; the event yields a :class:`RenderedPage`.
 
         Raises :class:`UnsupportedContentError` immediately for alien
@@ -86,6 +87,10 @@ class Microbrowser:
         mem_kb = max(1, size * RENDER_MEMORY_FACTOR_KB // 1024)
         tag = f"render-{self.pages_rendered}"
         station.memory.allocate(tag, mem_kb)
+        span = None
+        if trace is not None:
+            span = start_span(sim, "device.render", "device", parent=trace,
+                              content_type=content_type, bytes=size)
 
         def job(env):
             start = env.now
@@ -95,6 +100,7 @@ class Microbrowser:
                 elapsed = env.now - start
                 station.screen_on(elapsed)
                 self.pages_rendered += 1
+                end_span(sim, span, ok=True)
                 result.succeed(RenderedPage(
                     content_type=content_type,
                     lines=lines,
@@ -106,6 +112,7 @@ class Microbrowser:
                     TaskLimitError) as exc:
                 # Device faults (dead battery, task limits) surface to
                 # whoever awaits the render, not as a simulator crash.
+                end_span(sim, span, ok=False)
                 result.fail(exc)
             finally:
                 station.memory.free(tag)

@@ -43,11 +43,17 @@ class MiddlewareSession:
 
     middleware_name = "abstract"
 
-    def get(self, url: str) -> Event:
-        """Event yielding a MiddlewareResponse (or failing)."""
+    def get(self, url: str, trace=None) -> Event:
+        """Event yielding a MiddlewareResponse (or failing).
+
+        ``trace`` is an optional observability TraceContext; sessions
+        propagate it to the middleware server on whatever their protocol
+        already carries (frame key or header).  It never changes what
+        the request does.
+        """
         raise NotImplementedError
 
-    def post(self, url: str, form: dict) -> Event:
+    def post(self, url: str, form: dict, trace=None) -> Event:
         raise NotImplementedError
 
     def close(self) -> None:

@@ -15,6 +15,7 @@ from urllib.parse import urlencode
 from ..net.dns import NameRegistry
 from ..net.node import Node
 from ..net.tcp import TCPStack
+from ..obs import ctx_of, end_span, start_span
 from ..sim import Counter, Event
 from ..web.client import HTTPClient
 from .base import MiddlewareResponse, MiddlewareSession, split_url
@@ -35,43 +36,53 @@ class DirectHTTPSession(MiddlewareSession):
         self.http = HTTPClient(node, tcp=tcp)
         self.stats = Counter()
 
-    def get(self, url: str) -> Event:
-        return self._fetch("GET", url, None)
+    def get(self, url: str, trace=None) -> Event:
+        return self._fetch("GET", url, None, trace=trace)
 
-    def post(self, url: str, form: dict) -> Event:
-        return self._fetch("POST", url, urlencode(form).encode())
+    def post(self, url: str, form: dict, trace=None) -> Event:
+        return self._fetch("POST", url, urlencode(form).encode(),
+                           trace=trace)
 
-    def _fetch(self, method: str, url: str, body) -> Event:
+    def _fetch(self, method: str, url: str, body, trace=None) -> Event:
         result = self.sim.event()
+        span = None
+        if trace is not None:
+            span = start_span(self.sim, "http.request", "wired",
+                              parent=trace, url=url)
 
         def go(env):
             try:
-                host, path = split_url(url)
-            except ValueError as exc:
-                result.fail(exc)
-                return
-            origin = self.registry.lookup(host)
-            if origin is None:
+                try:
+                    host, path = split_url(url)
+                except ValueError as exc:
+                    result.fail(exc)
+                    return
+                origin = self.registry.lookup(host)
+                if origin is None:
+                    result.succeed(MiddlewareResponse(
+                        status=502, content_type="text/plain",
+                        body=f"cannot resolve {host}".encode()))
+                    return
+                self.stats.incr("requests")
+                if method == "POST":
+                    response = yield self.http.post(origin, path, body,
+                                                    trace=ctx_of(span))
+                else:
+                    response = yield self.http.get(origin, path,
+                                                   trace=ctx_of(span))
+                if response is None:
+                    result.succeed(MiddlewareResponse(
+                        status=504, content_type="text/plain",
+                        body=b"timeout"))
+                    return
                 result.succeed(MiddlewareResponse(
-                    status=502, content_type="text/plain",
-                    body=f"cannot resolve {host}".encode()))
-                return
-            self.stats.incr("requests")
-            if method == "POST":
-                response = yield self.http.post(origin, path, body)
-            else:
-                response = yield self.http.get(origin, path)
-            if response is None:
-                result.succeed(MiddlewareResponse(
-                    status=504, content_type="text/plain",
-                    body=b"timeout"))
-                return
-            result.succeed(MiddlewareResponse(
-                status=response.status,
-                content_type=response.content_type,
-                body=response.body,
-                meta={"delivered_bytes": len(response.body)},
-            ))
+                    status=response.status,
+                    content_type=response.content_type,
+                    body=response.body,
+                    meta={"delivered_bytes": len(response.body)},
+                ))
+            finally:
+                end_span(self.sim, span)
 
         self.sim.spawn(go(self.sim), name="direct-http")
         return result

@@ -22,6 +22,7 @@ from ..net.addressing import IPAddress
 from ..net.dns import NameRegistry
 from ..net.node import Node
 from ..net.tcp import TCPConnection, TCPStack, tcp_stack
+from ..obs import ctx_of, end_span, start_span
 from ..sim import Counter, Event
 from ..web.client import HTTPClient
 from ..web.http import HTTPRequest, HTTPResponse, RequestParser, ResponseParser
@@ -62,12 +63,25 @@ class IModeCenter:
             if chunk == b"":
                 return
             for request in parser.feed(chunk):
-                response = yield from self._proxy(request)
+                # conn.trace arrives as packet metadata via TCP.
+                response = yield from self._proxy(request,
+                                                  parent=conn.trace)
                 response.headers["connection"] = "keep-alive"
                 conn.send(response.encode())
 
-    def _proxy(self, request: HTTPRequest):
+    def _proxy(self, request: HTTPRequest, parent=None):
         self.stats.incr("requests")
+        span = None
+        if self.sim.tracer is not None and parent is not None:
+            span = start_span(self.sim, "imode.center", "middleware",
+                              parent=parent, url=request.path)
+        try:
+            response = yield from self._proxy_inner(request, span)
+        finally:
+            end_span(self.sim, span)
+        return response
+
+    def _proxy_inner(self, request: HTTPRequest, span):
         try:
             host, path = split_url(request.path)
         except ValueError as exc:
@@ -79,16 +93,22 @@ class IModeCenter:
             return HTTPResponse(502, {"content-type": "text/plain"},
                                 f"cannot resolve {host}")
         if request.method == "POST":
-            upstream = yield self.http.post(origin, path, request.body)
+            upstream = yield self.http.post(origin, path, request.body,
+                                            trace=ctx_of(span))
         else:
-            upstream = yield self.http.get(origin, path)
+            upstream = yield self.http.get(origin, path,
+                                           trace=ctx_of(span))
         if upstream is None:
             self.stats.incr("origin_timeouts")
             return HTTPResponse(504, {"content-type": "text/plain"},
                                 "origin timeout")
-        return (yield from self._adapt(upstream))
+        return (yield from self._adapt(upstream, parent=span))
 
-    def _adapt(self, upstream: HTTPResponse):
+    def _adapt(self, upstream: HTTPResponse, parent=None):
+        span = None
+        if parent is not None:
+            span = start_span(self.sim, "imode.adapt", "middleware",
+                              parent=parent)
         content_type = upstream.content_type
         body = upstream.body
         if "text/html" in content_type:
@@ -103,6 +123,7 @@ class IModeCenter:
                 body = to_chtml(text).encode()
                 content_type = CHTML_CONTENT_TYPE
                 self.stats.incr("adaptations")
+        end_span(self.sim, span, delivered_bytes=len(body))
         return HTTPResponse(
             upstream.status,
             {"content-type": content_type},
@@ -138,27 +159,33 @@ class IModeSession(MiddlewareSession):
         self.stats.incr("session_establishments")
         yield self._conn.established_event
 
-    def get(self, url: str) -> Event:
+    def get(self, url: str, trace=None) -> Event:
         request = HTTPRequest("GET", url, {"connection": "keep-alive"})
-        return self._roundtrip(request)
+        return self._roundtrip(request, trace=trace)
 
-    def post(self, url: str, form: dict) -> Event:
+    def post(self, url: str, form: dict, trace=None) -> Event:
         request = HTTPRequest(
             "POST", url,
             {"connection": "keep-alive",
              "content-type": "application/x-www-form-urlencoded"},
             body=urlencode(form).encode(),
         )
-        return self._roundtrip(request)
+        return self._roundtrip(request, trace=trace)
 
-    def _roundtrip(self, request: HTTPRequest) -> Event:
+    def _roundtrip(self, request: HTTPRequest, trace=None) -> Event:
         result = self.sim.event()
+        span = None
+        if trace is not None:
+            span = start_span(self.sim, "imode.request", "middleware",
+                              parent=trace, url=request.path)
 
         def exchange(env):
             grant = self._mutex.request()
             yield grant
             try:
                 yield from self._ensure_connected()
+                if span is not None:
+                    self._conn.trace = span.context()
                 self._conn.send(request.encode())
                 self.stats.incr("requests")
                 while not self._responses:
@@ -176,6 +203,7 @@ class IModeSession(MiddlewareSession):
                 ))
             finally:
                 self._mutex.release(grant)
+                end_span(self.sim, span)
 
         self.sim.spawn(exchange(self.sim), name="imode-get")
         return result

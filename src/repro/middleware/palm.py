@@ -21,6 +21,7 @@ from ..net.addressing import IPAddress
 from ..net.dns import NameRegistry
 from ..net.node import Node
 from ..net.tcp import TCPConnection, TCPStack, tcp_stack
+from ..obs import ctx_of, end_span, start_span
 from ..sim import Counter, Event, Resource
 from ..web.client import HTTPClient
 from .adaptation import extract_title, strip_tags
@@ -72,11 +73,25 @@ class WebClippingProxy:
             if chunk == b"":
                 return
             for request in reader.feed(chunk):
-                reply = yield from self._handle(request)
+                # conn.trace arrives as packet metadata via TCP.
+                reply = yield from self._handle(request,
+                                                parent=conn.trace)
                 conn.send(encode_frame(reply))
 
-    def _handle(self, request: dict):
+    def _handle(self, request: dict, parent=None):
         self.stats.incr("requests")
+        span = None
+        if self.sim.tracer is not None and parent is not None:
+            span = start_span(self.sim, "palm.proxy", "middleware",
+                              parent=parent,
+                              url=request.get("url", ""))
+        try:
+            reply = yield from self._handle_inner(request, span)
+        finally:
+            end_span(self.sim, span)
+        return reply
+
+    def _handle_inner(self, request: dict, span):
         url = request.get("url", "")
         try:
             host, path = split_url(url)
@@ -89,18 +104,24 @@ class WebClippingProxy:
                     "body": f"cannot resolve {host}".encode(), "meta": {}}
         if request.get("method", "GET").upper() == "POST":
             response = yield self.http.post(origin, path,
-                                            request.get("body", b""))
+                                            request.get("body", b""),
+                                            trace=ctx_of(span))
         else:
-            response = yield self.http.get(origin, path)
+            response = yield self.http.get(origin, path,
+                                           trace=ctx_of(span))
         if response is None:
             self.stats.incr("origin_timeouts")
             return {"status": 504, "body": b"origin timeout", "meta": {}}
-        return (yield from self._clip(response))
+        return (yield from self._clip(response, parent=span))
 
-    def _clip(self, response):
+    def _clip(self, response, parent=None):
         body = response.body
         meta = {"origin_bytes": len(body), "clipped": False}
         if "text/html" in response.content_type:
+            clip_span = None
+            if parent is not None:
+                clip_span = start_span(self.sim, "palm.clip", "middleware",
+                                       parent=parent)
             yield self.sim.timeout(
                 CLIPPING_TIME_PER_KB * max(1, len(body) // 1024))
             html = body.decode("utf-8", errors="replace")
@@ -114,6 +135,7 @@ class WebClippingProxy:
             payload = zlib.compress(raw, level=9)
             meta["compressed_bytes"] = len(payload)
             meta["clipping_bytes"] = len(raw)
+            end_span(self.sim, clip_span, clipping_bytes=len(raw))
             return {"status": response.status, "body": payload,
                     "content_type": CLIPPING_CONTENT_TYPE, "meta": meta}
         # Non-HTML passes through uncompressed (rare for Palm-era use).
@@ -147,22 +169,29 @@ class PalmSession(MiddlewareSession):
         self.stats.incr("session_establishments")
         yield self._conn.established_event
 
-    def get(self, url: str) -> Event:
-        return self._roundtrip({"method": "GET", "url": url})
+    def get(self, url: str, trace=None) -> Event:
+        return self._roundtrip({"method": "GET", "url": url}, trace=trace)
 
-    def post(self, url: str, form: dict) -> Event:
+    def post(self, url: str, form: dict, trace=None) -> Event:
         from urllib.parse import urlencode
         return self._roundtrip({"method": "POST", "url": url,
-                                "body": urlencode(form).encode()})
+                                "body": urlencode(form).encode()},
+                               trace=trace)
 
-    def _roundtrip(self, request: dict) -> Event:
+    def _roundtrip(self, request: dict, trace=None) -> Event:
         result = self.sim.event()
+        span = None
+        if trace is not None:
+            span = start_span(self.sim, "clip.request", "middleware",
+                              parent=trace, url=request.get("url", ""))
 
         def exchange(env):
             grant = self._mutex.request()
             yield grant
             try:
                 yield from self._ensure_connected()
+                if span is not None:
+                    self._conn.trace = span.context()
                 self._conn.send(encode_frame(request))
                 self.stats.incr("requests")
                 while not self._frames:
@@ -188,6 +217,7 @@ class PalmSession(MiddlewareSession):
                 ))
             finally:
                 self._mutex.release(grant)
+                end_span(self.sim, span)
 
         self.sim.spawn(exchange(self.sim), name="palm-get")
         return result

@@ -25,6 +25,7 @@ from ..net.addressing import IPAddress
 from ..net.dns import NameRegistry
 from ..net.node import Node
 from ..net.tcp import TCPConnection, TCPStack, tcp_stack
+from ..obs import ctx_of, end_span, start_span
 from ..security.wtls import SecureChannel, SecurityError
 from ..sim import Counter, Event, RandomStream
 from ..web.client import HTTPClient
@@ -103,7 +104,8 @@ class WAPGateway:
                 return
             if record == b"":
                 return
-            reply = yield from self._handle(decode_obj(record))
+            reply = yield from self._handle(decode_obj(record),
+                                            parent=conn.trace)
             channel.send(encode_obj(reply))
 
     def _serve(self, conn: TCPConnection):
@@ -113,11 +115,25 @@ class WAPGateway:
             if chunk == b"":
                 return
             for request in reader.feed(chunk):
-                reply = yield from self._handle(request)
+                # conn.trace arrives as packet metadata via TCP.
+                reply = yield from self._handle(request,
+                                                parent=conn.trace)
                 conn.send(encode_frame(reply))
 
-    def _handle(self, request: dict):
+    def _handle(self, request: dict, parent=None):
         self.stats.incr("wsp_requests")
+        span = None
+        if self.sim.tracer is not None and parent is not None:
+            span = start_span(self.sim, "wap.gateway", "middleware",
+                              parent=parent,
+                              url=request.get("url", ""))
+        try:
+            reply = yield from self._handle_inner(request, span)
+        finally:
+            end_span(self.sim, span)
+        return reply
+
+    def _handle_inner(self, request: dict, span):
         url = request.get("url", "")
         method = request.get("method", "GET").upper()
         cache_key = (method, url, request.get("accept", ""))
@@ -147,23 +163,28 @@ class WAPGateway:
         if method == "POST":
             response = yield self.http.post(
                 origin, path, request.get("body", b""),
-                headers=negotiate)
+                headers=negotiate, trace=ctx_of(span))
         else:
             response = yield self.http.get(origin, path,
-                                           headers=negotiate)
+                                           headers=negotiate,
+                                           trace=ctx_of(span))
         if response is None:
             self.stats.incr("origin_timeouts")
             return {"status": 504, "content_type": "text/plain",
                     "body": b"origin timeout", "meta": {}}
 
-        reply = yield from self._translate(request, response)
+        reply = yield from self._translate(request, response, parent=span)
         if self.cache_ttl > 0 and method == "GET" and \
                 reply.get("status") == 200:
             self._cache[cache_key] = (self.sim.now, reply)
         return reply
 
-    def _translate(self, request: dict, response):
+    def _translate(self, request: dict, response, parent=None):
         """HTML -> WML (-> WMLC) translation of the origin response."""
+        span = None
+        if parent is not None:
+            span = start_span(self.sim, "wap.translate", "middleware",
+                              parent=parent)
         content_type = response.content_type
         body = response.body
         meta = {"translated": False, "origin_bytes": len(body)}
@@ -192,6 +213,8 @@ class WAPGateway:
             self.stats.incr("wmlc_encodings")
 
         meta["delivered_bytes"] = len(body)
+        end_span(self.sim, span, translated=meta["translated"],
+                 delivered_bytes=len(body))
         return {"status": response.status, "content_type": content_type,
                 "body": body, "meta": meta}
 
@@ -241,26 +264,40 @@ class WAPSession(MiddlewareSession):
             yield self._channel.handshake_client()
             self.stats.incr("wtls_handshakes")
 
-    def get(self, url: str) -> Event:
+    def get(self, url: str, trace=None) -> Event:
         return self._roundtrip({"method": "GET", "url": url,
-                                "accept": self.accept})
+                                "accept": self.accept}, trace=trace)
 
-    def post(self, url: str, form: dict) -> Event:
+    def post(self, url: str, form: dict, trace=None) -> Event:
         return self._roundtrip({
             "method": "POST",
             "url": url,
             "accept": self.accept,
             "body": urlencode(form).encode(),
-        })
+        }, trace=trace)
 
-    def _roundtrip(self, request: dict) -> Event:
+    def _roundtrip(self, request: dict, trace=None) -> Event:
         result = self.sim.event()
+        span = None
+        if trace is not None:
+            span = start_span(self.sim, "wsp.request", "middleware",
+                              parent=trace, url=request.get("url", ""))
 
         def exchange(env):
             grant = self._mutex.request()
             yield grant
             try:
+                connect_span = None
+                if span is not None and (
+                    self._conn is None
+                    or self._conn.state != TCPConnection.ESTABLISHED
+                ):
+                    connect_span = start_span(self.sim, "wsp.connect",
+                                              "middleware", parent=span)
                 yield from self._ensure_connected()
+                end_span(self.sim, connect_span)
+                if span is not None:
+                    self._conn.trace = span.context()
                 self.stats.incr("requests")
                 if self.secure:
                     self._channel.send(encode_obj(request))
@@ -289,6 +326,7 @@ class WAPSession(MiddlewareSession):
                 result.fail(exc)
             finally:
                 self._mutex.release(grant)
+                end_span(self.sim, span)
 
         self.sim.spawn(exchange(self.sim), name="wap-get")
         return result

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Optional
 
+from ..obs import end_span, start_span
 from ..sim import Counter, RandomStream, Simulator, Store
 from .packet import Packet
 
@@ -44,12 +45,21 @@ class LinkEnd:
         sim = self.sim
         while True:
             packet = yield self.queue.get()
+            # Only packets that carry a TraceContext get a span; untraced
+            # traffic must not seed root traces of its own.
+            span = None
+            if packet.trace is not None:
+                span = start_span(
+                    sim, f"{self.link.name}.tx", self.link.layer,
+                    parent=packet.trace, bytes=packet.size,
+                )
             attempts = 0
             while True:
                 attempts += 1
                 rate = self.link.transmit_rate(self)
                 if rate <= 0:
                     self.link.stats.incr("no_signal_drops")
+                    end_span(sim, span, dropped="no_signal")
                     break
                 grant = self.link.request_airtime()
                 if grant is not None:
@@ -59,26 +69,32 @@ class LinkEnd:
                     self.link.airtime.release(grant)
                 if self.link.is_down:
                     self.link.stats.incr("down_drops")
+                    end_span(sim, span, dropped="down")
                     break
                 if self.link.frame_delivered(self, packet):
                     self.link.stats.incr("delivered")
                     self.link.stats.incr("bytes_delivered", packet.size)
-                    sim.spawn(self._propagate(packet),
+                    sim.spawn(self._propagate(packet, span),
                               name=f"{self.link.name}-prop")
                     break
                 self.link.stats.incr("frame_errors")
                 if attempts > self.link.retry_limit:
                     self.link.stats.incr("loss_drops")
+                    end_span(sim, span, dropped="loss", attempts=attempts)
                     break
 
-    def _propagate(self, packet: Packet):
+    def _propagate(self, packet: Packet, span=None):
         yield self.sim.timeout(self.link.delay)
         if self.peer_iface is not None and not self.link.is_down:
             self.peer_iface.deliver(packet)
+        end_span(self.sim, span)
 
 
 class Link:
     """A full-duplex point-to-point link between two interfaces."""
+
+    # Observability layer for link.tx spans; wireless subclasses override.
+    layer = "wired"
 
     def __init__(
         self,

@@ -45,6 +45,10 @@ class Packet:
     # Bookkeeping for traces and for Mobile IP decapsulation checks.
     hops: list[str] = field(default_factory=list)
     created_at: float = 0.0
+    # Observability: the TraceContext of the connection that emitted the
+    # packet (None while tracing is off).  Purely observational — copy()
+    # and encapsulate() preserve it, nothing else reads it.
+    trace: Any = None
 
     def __post_init__(self):
         if self.payload_size < 0:
@@ -72,6 +76,7 @@ class Packet:
             payload_size=self.size,
             ttl=64,
             created_at=self.created_at,
+            trace=self.trace,
         )
 
     def decapsulate(self) -> "Packet":

@@ -146,6 +146,10 @@ class TCPConnection:
         self.closed_event: Event = self.sim.event()
 
         self.stats = Counter()
+        # Observability: TraceContext stamped onto every emitted Packet,
+        # so link-level spans can be stitched to the transaction even
+        # after segmentation.  None (untraced) by default.
+        self.trace: Any = None
 
     # ------------------------------------------------------------------ API
     def send(self, data: bytes) -> None:
@@ -253,6 +257,7 @@ class TCPConnection:
             proto=PROTO_TCP,
             payload=segment,
             payload_size=len(data) + TCP_HEADER_BYTES,
+            trace=self.trace,
         )
         self.stats.incr("segments_sent")
         self.stack.node.send_ip(packet)
@@ -260,6 +265,12 @@ class TCPConnection:
     def handle_segment(self, segment: TCPSegment, packet: Packet) -> None:
         """Demultiplexed inbound segment processing."""
         self.stats.incr("segments_received")
+        if segment.data and packet.trace is not None:
+            # Adopt the sender's trace context: the peer's spans (and our
+            # replies) stitch to the same transaction without spending a
+            # single wire byte on it.  Data segments only — a straggling
+            # ACK from a previous request must not revert the context.
+            self.trace = packet.trace
         if segment.syn and segment.is_ack:
             self._on_synack(segment)
             return

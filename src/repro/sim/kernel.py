@@ -75,6 +75,9 @@ class Event:
         self._value: Any = None
         self._ok: Optional[bool] = None
         self._state = Event.PENDING
+        # Monotonic processing index stamped by Simulator.step(); None
+        # until the event is processed (or when forged in tests).
+        self._order: Optional[int] = None
 
     # -- state inspection ------------------------------------------------
     @property
@@ -179,10 +182,21 @@ class Process(Event):
         target = self._target
         if target is not None and self._resume in target.callbacks:
             target.callbacks.remove(self._resume)
+        if (
+            isinstance(target, _Condition)
+            and not target.triggered
+            and not target.callbacks
+        ):
+            # Nobody else waits on the condition: detach its _on_child
+            # callbacks so the children don't keep a dead waiter alive.
+            target.cancel()
         self._target = None
         self.sim._schedule(err, priority=0)
 
     def _resume(self, event: Event) -> None:
+        profiler = self.sim._profiler
+        if profiler is not None:
+            profiler.on_resume(self)
         self._target = None
         self.sim._active_process = self
         try:
@@ -250,11 +264,34 @@ class _Condition(Event):
     def _collect(self) -> dict[Event, Any]:
         return {ev: ev._value for ev in self.events if ev.processed and ev._ok}
 
+    def cancel(self) -> None:
+        """Detach this condition from its children (stale-callback cleanup
+        when the waiting process is interrupted)."""
+        for ev in self.events:
+            if self._on_child in ev.callbacks:
+                ev.callbacks.remove(self._on_child)
+
+
+def _first_fired(events: list[Event]) -> Event:
+    """The event that was processed earliest, by the kernel's processing
+    index; falls back to list order for events forged without one."""
+    ordered = [ev for ev in events if ev._order is not None]
+    if ordered:
+        return min(ordered, key=lambda ev: ev._order)
+    return events[0]
+
 
 class AllOf(_Condition):
     """Fires when every child event has fired; value maps event -> value."""
 
     def _check_immediate(self) -> bool:
+        # A child that already failed-and-processed must fail the
+        # composite immediately — succeeding with a partial value dict
+        # (the pre-fix behaviour) silently swallowed the error.
+        failed = [ev for ev in self.events if ev.processed and not ev._ok]
+        if failed:
+            self.fail(_first_fired(failed)._value)
+            return True
         if self._pending == 0:
             self.succeed(self._collect())
             return True
@@ -277,7 +314,10 @@ class AnyOf(_Condition):
     def _check_immediate(self) -> bool:
         done = [ev for ev in self.events if ev.processed]
         if done:
-            first = done[0]
+            # "First" means first *fired*, not first in argument order:
+            # the processing index makes the winner deterministic no
+            # matter how the caller ordered the list.
+            first = _first_fired(done)
             if first._ok:
                 self.succeed(self._collect())
             else:
@@ -311,6 +351,13 @@ class Simulator:
         self._queue: list[tuple[float, int, int, Event]] = []
         self._seq = itertools.count()
         self._active_process: Optional[Process] = None
+        # Observability attachment points (duck-typed so the kernel never
+        # imports repro.obs): a repro.obs Tracer and KernelProfiler hang
+        # here when installed; both default to None and the disabled
+        # path costs one attribute check.
+        self.tracer: Any = None
+        self._profiler: Any = None
+        self._order = itertools.count()
 
     # -- factories ---------------------------------------------------------
     def event(self) -> Event:
@@ -350,6 +397,9 @@ class Simulator:
         if time < self.now:
             raise SimulationError("time went backwards")
         self.now = time
+        event._order = next(self._order)
+        if self._profiler is not None:
+            self._profiler.on_event(self.now, event, len(self._queue))
         callbacks, event.callbacks = event.callbacks, []
         event._mark_processed()
         for callback in callbacks:

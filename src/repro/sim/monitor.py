@@ -94,7 +94,13 @@ class StatSummary:
         ordered = sorted(samples)
         n = len(ordered)
         mean = sum(ordered) / n
-        var = sum((x - mean) ** 2 for x in ordered) / n
+        # Sample (Bessel-corrected) variance: these are samples of an
+        # open-ended process, not the whole population.  n == 1 carries
+        # no spread information, so its stdev is 0 by convention.
+        if n > 1:
+            var = sum((x - mean) ** 2 for x in ordered) / (n - 1)
+        else:
+            var = 0.0
         return StatSummary(
             count=n,
             mean=mean,
@@ -144,14 +150,25 @@ class LatencyRecorder:
 
 @dataclass
 class Trace:
-    """An append-only structured event log."""
+    """An append-only structured event log.
+
+    ``max_entries`` bounds memory on long runs: when set, the oldest
+    entries are discarded first and ``dropped`` counts the loss.
+    """
 
     entries: list[tuple[float, str, dict]] = field(default_factory=list)
     enabled: bool = True
+    max_entries: Optional[int] = None
+    dropped: int = 0
 
     def log(self, time: float, kind: str, **fields: Any) -> None:
-        if self.enabled:
-            self.entries.append((time, kind, fields))
+        if not self.enabled:
+            return
+        self.entries.append((time, kind, fields))
+        if self.max_entries is not None and len(self.entries) > self.max_entries:
+            overflow = len(self.entries) - self.max_entries
+            del self.entries[:overflow]
+            self.dropped += overflow
 
     def of_kind(self, kind: str) -> list[tuple[float, str, dict]]:
         return [e for e in self.entries if e[1] == kind]

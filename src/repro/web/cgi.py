@@ -32,6 +32,7 @@ class CGIContext:
     database: Any = None          # repro.db.Database when wired
     transactions: Any = None      # repro.db.TransactionManager when wired
     server: Any = None            # the WebServer, for cross-program state
+    trace: Any = None             # TraceContext when the request is traced
     extra: dict = field(default_factory=dict)
 
     def param(self, name: str, default: str = "") -> str:

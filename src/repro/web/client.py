@@ -22,12 +22,19 @@ class HTTPClient:
         self.tcp = tcp or tcp_stack(node)
 
     def request(self, server: IPAddress, req: HTTPRequest,
-                port: int = 80, timeout: float = 30.0) -> Event:
-        """Event yielding the HTTPResponse, or None on timeout."""
+                port: int = 80, timeout: float = 30.0, trace=None) -> Event:
+        """Event yielding the HTTPResponse, or None on timeout.
+
+        ``trace`` (a TraceContext) propagates observability context: it
+        is stamped on the connection, rides every packet as metadata
+        (zero wire bytes — tracing must not perturb what it measures),
+        and the server recovers it from the arriving segments.
+        """
         result = self.sim.event()
 
         def exchange(env):
             conn = self.tcp.connect(server, port)
+            conn.trace = trace
             expiry = env.timeout(timeout)
             race = yield env.any_of([conn.established_event, expiry])
             if conn.established_event not in race:
@@ -56,18 +63,21 @@ class HTTPClient:
         return result
 
     def get(self, server: IPAddress, path: str, port: int = 80,
-            headers: Optional[dict] = None, timeout: float = 30.0) -> Event:
+            headers: Optional[dict] = None, timeout: float = 30.0,
+            trace=None) -> Event:
         req = HTTPRequest("GET", path, headers=headers or {})
-        return self.request(server, req, port=port, timeout=timeout)
+        return self.request(server, req, port=port, timeout=timeout,
+                            trace=trace)
 
     def post(self, server: IPAddress, path: str, body: bytes,
              content_type: str = "application/x-www-form-urlencoded",
              port: int = 80, headers: Optional[dict] = None,
-             timeout: float = 30.0) -> Event:
+             timeout: float = 30.0, trace=None) -> Event:
         merged = dict(headers or {})
         merged["content-type"] = content_type
         req = HTTPRequest("POST", path, headers=merged, body=body)
-        return self.request(server, req, port=port, timeout=timeout)
+        return self.request(server, req, port=port, timeout=timeout,
+                            trace=trace)
 
 
 def http_get(node: Node, server: IPAddress, path: str, port: int = 80,

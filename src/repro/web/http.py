@@ -41,6 +41,9 @@ class HTTPRequest:
     headers: dict = field(default_factory=dict)
     body: bytes = b""
     version: str = "HTTP/1.0"
+    # Observability metadata (a TraceContext), never serialized: the
+    # server stamps it from the connection the request arrived on.
+    trace: object = None
 
     def __post_init__(self):
         self.method = self.method.upper()

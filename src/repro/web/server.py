@@ -16,8 +16,10 @@ from __future__ import annotations
 
 from typing import Callable, Optional
 
+from ..db.server import TracedDatabaseClient
 from ..net.node import Node
 from ..net.tcp import TCPConnection, TCPStack, tcp_stack
+from ..obs import ctx_of, end_span, start_span
 from ..security.auth import AuthenticationError
 from ..sim import Counter, Interrupt, Resource, SimulationError
 from .cgi import CGIContext, CGIRegistry
@@ -125,6 +127,11 @@ class WebServer:
                 conn.close()
                 return
             for request in requests:
+                if self.sim.tracer is not None:
+                    # The requester's context arrived as packet metadata
+                    # and was stamped on the connection by TCP; hand it
+                    # to the handler as request metadata.
+                    request.trace = conn.trace
                 worker = self.workers.request()
                 yield worker
                 try:
@@ -151,7 +158,20 @@ class WebServer:
     def _handle(self, request: HTTPRequest):
         yield self.sim.timeout(REQUEST_SERVICE_TIME)
         path = request.path_only
+        span = None
+        if self.sim.tracer is not None and request.trace is not None:
+            # Join the requester's trace; untraced requests get no
+            # span so they don't seed root traces of their own.
+            span = start_span(self.sim, "web.handle", "web",
+                              parent=request.trace, method=request.method,
+                              path=path)
+        try:
+            response = yield from self._dispatch(request, path, span)
+        finally:
+            end_span(self.sim, span)
+        return response
 
+    def _dispatch(self, request: HTTPRequest, path: str, span):
         denied = self._check_authorization(request, path)
         if denied is not None:
             return denied
@@ -167,13 +187,24 @@ class WebServer:
             return HTTPResponse.not_found(f"no resource at {path}")
 
         session, is_new = self.sessions.resolve(request)
+        cgi_span = None
+        if span is not None:
+            cgi_span = start_span(self.sim, "web.cgi", "web", parent=span,
+                                  program=program.name)
+        database = self.database
+        trace = ctx_of(cgi_span)
+        if trace is not None and database is not None:
+            # Per-request wrapper: the shared client cannot carry a
+            # "current trace" without racing across concurrent requests.
+            database = TracedDatabaseClient(database, trace)
         context = CGIContext(
             request=request,
             params=request.params,
             session=session,
-            database=self.database,
+            database=database,
             transactions=self.transactions,
             server=self,
+            trace=trace,
         )
         try:
             response = yield from program.run(context)
@@ -185,6 +216,8 @@ class WebServer:
             # Any program error becomes a 500 for the client.
             self.stats.incr("program_errors")
             response = HTTPResponse.error(f"{type(exc).__name__}: {exc}")
+        finally:
+            end_span(self.sim, cgi_span)
         if is_new:
             self.sessions.attach(response, session)
         return response

@@ -18,7 +18,6 @@ from .http import HTTPRequest, HTTPResponse
 __all__ = ["Session", "SessionStore", "SESSION_COOKIE"]
 
 SESSION_COOKIE = "msid"
-_session_counter = itertools.count(1)
 
 
 @dataclass
@@ -48,12 +47,16 @@ class SessionStore:
         self.sim = sim
         self.ttl = ttl
         self._sessions: dict[str, Session] = {}
+        # Store-local counter: a module-level one made session ids depend
+        # on how many stores had run earlier in the process, breaking
+        # run-to-run determinism.
+        self._counter = itertools.count(1)
 
     def __len__(self) -> int:
         return len(self._sessions)
 
     def _new_id(self) -> str:
-        seed = f"{next(_session_counter)}:{self.sim.now}"
+        seed = f"{next(self._counter)}:{self.sim.now}"
         return hashlib.sha256(seed.encode()).hexdigest()[:16]
 
     def create(self) -> Session:

@@ -62,6 +62,8 @@ QOS_PRIORITIES = {
 class _CellLink(Link):
     """Radio bearer between a subscriber and its base station."""
 
+    layer = "wireless"
+
     def __init__(self, sim: Simulator, name: str, rate_bps: float,
                  shared_airtime: Optional[Resource], loss_rate: float = 0.0,
                  loss_stream=None, qos_priority: int = 10):

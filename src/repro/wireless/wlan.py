@@ -35,6 +35,8 @@ RADIO_PROPAGATION_DELAY = 0.000_5  # MAC/PHY overhead stand-in
 class RadioLink(Link):
     """A position-aware half-duplex wireless link."""
 
+    layer = "wireless"
+
     def __init__(
         self,
         sim: Simulator,

@@ -384,3 +384,103 @@ def test_interrupt_cause_none_by_default():
     sim.spawn(poke(sim))
     sim.run()
     assert seen == [None]
+
+
+def test_all_of_fails_immediately_on_already_failed_child():
+    sim = Simulator()
+    bad = sim.event()
+    bad.fail(RuntimeError("already dead"))
+    ok = sim.event()
+    ok.succeed("fine")
+    sim.run()  # both children are fully processed before the AllOf exists
+    caught = []
+
+    def waiter(env):
+        try:
+            yield env.all_of([ok, bad])
+        except RuntimeError as exc:
+            caught.append(str(exc))
+
+    sim.spawn(waiter(sim))
+    sim.run()
+    # Pre-fix, _check_immediate succeeded with a partial {ok: "fine"}
+    # dict, silently swallowing the failure.
+    assert caught == ["already dead"]
+
+
+def test_any_of_failure_follows_firing_order_not_list_order():
+    sim = Simulator()
+    bad = sim.event()
+    good = sim.event()
+
+    def trigger(env):
+        bad.fail(ValueError("fired first"))
+        yield env.timeout(1)
+        good.succeed("fired second")
+
+    sim.spawn(trigger(sim))
+    sim.run()
+    caught = []
+
+    def waiter(env):
+        try:
+            # The failed event fired first but is listed *second*.
+            yield env.any_of([good, bad])
+        except ValueError as exc:
+            caught.append(str(exc))
+
+    sim.spawn(waiter(sim))
+    sim.run()
+    assert caught == ["fired first"]
+
+
+def test_any_of_success_follows_firing_order_not_list_order():
+    sim = Simulator()
+    bad = sim.event()
+    good = sim.event()
+
+    def trigger(env):
+        good.succeed("fired first")
+        yield env.timeout(1)
+        bad.fail(ValueError("fired second"))
+
+    sim.spawn(trigger(sim))
+    sim.run()
+    got = []
+
+    def waiter(env):
+        # The success fired first but the failure is listed first; the
+        # deterministic first-fired rule means the AnyOf succeeds.
+        result = yield env.any_of([bad, good])
+        got.append(result[good])
+
+    sim.spawn(waiter(sim))
+    sim.run()
+    assert got == ["fired first"]
+
+
+@pytest.mark.parametrize("combine", ["all_of", "any_of"])
+def test_interrupt_detaches_condition_child_callbacks(combine):
+    sim = Simulator()
+    a, b = sim.event(), sim.event()
+    seen = []
+
+    def waiter(env):
+        try:
+            yield getattr(env, combine)([a, b])
+        except Interrupt:
+            seen.append("interrupted")
+
+    proc = sim.spawn(waiter(sim))
+
+    def poke(env):
+        yield env.timeout(1)
+        proc.interrupt()
+
+    sim.spawn(poke(sim))
+    sim.run()
+    assert seen == ["interrupted"]
+    # Pre-fix, the condition's _on_child callbacks lingered on the
+    # children after the waiter was interrupted.
+    assert a.callbacks == []
+    assert b.callbacks == []

@@ -157,3 +157,34 @@ def test_trace_disabled_drops_entries():
     tr = Trace(enabled=False)
     tr.log(1.0, "send")
     assert len(tr) == 0
+
+
+def test_stat_summary_sample_variance():
+    import math
+    # Bessel-corrected (n-1) variance: for [2, 4, 4, 4, 5, 5, 7, 9] the
+    # population stdev is 2.0 but the sample stdev is sqrt(32/7).
+    s = StatSummary.of([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0])
+    assert s.stdev == pytest.approx(math.sqrt(32.0 / 7.0))
+
+
+def test_stat_summary_single_sample_stdev_zero():
+    s = StatSummary.of([42.0])
+    assert s.count == 1
+    assert s.stdev == 0.0
+
+
+def test_trace_bounded_drops_oldest():
+    tr = Trace(max_entries=3)
+    for i in range(5):
+        tr.log(float(i), "tick", n=i)
+    assert len(tr) == 3
+    assert [e[0] for e in tr.entries] == [2.0, 3.0, 4.0]
+    assert tr.dropped == 2
+
+
+def test_trace_unbounded_by_default():
+    tr = Trace()
+    for i in range(1000):
+        tr.log(float(i), "tick")
+    assert len(tr) == 1000
+    assert tr.dropped == 0

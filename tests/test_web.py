@@ -363,3 +363,20 @@ def test_access_log_records_requests():
     assert method == "GET" and path == "/a" and status == 200
     assert size == len(b"alpha")
     assert server.access_log[1][4] == 404
+
+
+def test_session_ids_deterministic_across_stores():
+    # The id counter is store-local (not module-level), so running the
+    # same scenario twice — two fresh worlds — yields identical ids.
+    def run_world():
+        sim, host, server, client = web_world()
+
+        def whoami(ctx):
+            return HTTPResponse.ok(ctx.session.session_id, "text/plain")
+
+        server.mount("/id", whoami)
+        first = fetch(sim, client, host, "/id")
+        second = fetch(sim, client, host, "/id")  # no cookie: new session
+        return first.body, second.body
+
+    assert run_world() == run_world()
