@@ -12,6 +12,8 @@ Commands:
   to the repo's own sources) and exit nonzero on findings;
 * ``check`` — statically model-check the Figure 1/2 reference builds,
   printing a PASS/FAIL/INCONCLUSIVE verdict per structural claim;
+* ``chaos`` — run a named fault-injection scenario against the full
+  MC system (policies on or off) and print the deterministic report;
 * ``tables`` — print the paper's five tables as reproduced from the
   model registries (specs only — run ``pytest benchmarks/`` for the
   measured versions);
@@ -200,6 +202,42 @@ def _cmd_check(args) -> int:
     return 1 if failures else 0
 
 
+def _cmd_chaos(args) -> int:
+    from repro.faults import FaultPlan, report_json, run_chaos
+
+    plan = None
+    if args.plan:
+        with open(args.plan) as handle:
+            plan = FaultPlan.from_json(handle.read())
+    report = run_chaos(
+        scenario=args.scenario,
+        seed=args.seed,
+        intensity=args.intensity,
+        policies=(args.policies == "on"),
+        stations=args.stations,
+        transactions_per_station=args.transactions,
+        horizon=args.horizon,
+        middleware=args.middleware,
+        bearer=(args.bearer_kind, args.bearer),
+        plan=plan,
+    )
+    text = report_json(report)
+    if args.json:
+        with open(args.json, "w") as handle:
+            handle.write(text)
+        print(f"report written to {args.json}")
+    else:
+        print(text)
+    print(f"\n{args.scenario} seed={args.seed} policies={args.policies}: "
+          f"{report['successful']}/{report['completed']} ok "
+          f"(rate {report['success_rate']:.3f}), "
+          f"p50 {report['latency']['p50']:.3f}s "
+          f"p95 {report['latency']['p95']:.3f}s, "
+          f"{report['faults'].get('injected', 0)} faults injected",
+          file=sys.stderr)
+    return 0 if report["success_rate"] > 0 else 1
+
+
 def _cmd_tables(args) -> int:
     from repro.apps import ALL_CATEGORIES
     from repro.devices import TABLE2_DEVICES
@@ -235,7 +273,8 @@ def _cmd_info(args) -> int:
           "'A System Model for Mobile Commerce' (ICDCSW'03)")
     print(__doc__.split("Commands:")[0].strip())
     for package in ("sim", "net", "wireless", "devices", "middleware",
-                    "web", "db", "security", "core", "apps", "analysis"):
+                    "web", "db", "security", "core", "apps", "obs",
+                    "faults", "resilience", "analysis"):
         print(f"  repro.{package}")
     return 0
 
@@ -292,6 +331,33 @@ def main(argv=None) -> int:
     check.add_argument("--format", default="text", choices=["text", "json"])
     check.add_argument("--seed", type=int, default=0)
     check.set_defaults(func=_cmd_check)
+
+    chaos = sub.add_parser(
+        "chaos", help="run a deterministic fault-injection scenario")
+    chaos.add_argument("scenario", nargs="?", default="storm",
+                       help="flaky-radio, gateway-outage, brownout, "
+                            "dns-blackout, or storm")
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument("--intensity", type=float, default=0.5,
+                       help="fault intensity in [0, 1] (default 0.5)")
+    chaos.add_argument("--policies", default="on", choices=["on", "off"],
+                       help="resilience policies (retry, breaker, "
+                            "failover, shedding)")
+    chaos.add_argument("--stations", type=int, default=3)
+    chaos.add_argument("--transactions", type=int, default=8,
+                       help="transactions per station")
+    chaos.add_argument("--horizon", type=float, default=240.0,
+                       help="sim-seconds to run")
+    chaos.add_argument("--middleware", default="WAP",
+                       choices=["WAP", "i-mode", "Palm"])
+    chaos.add_argument("--bearer", default="GPRS")
+    chaos.add_argument("--bearer-kind", default=None,
+                       choices=["cellular", "wlan"])
+    chaos.add_argument("--plan", default=None, metavar="PATH",
+                       help="JSON fault plan overriding the scenario")
+    chaos.add_argument("--json", default=None, metavar="PATH",
+                       help="write the report JSON here instead of stdout")
+    chaos.set_defaults(func=_cmd_chaos)
 
     tables = sub.add_parser("tables", help="print the paper's tables")
     tables.set_defaults(func=_cmd_tables)

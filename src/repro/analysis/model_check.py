@@ -163,6 +163,7 @@ class ModelChecker:
             "MC-APP-HOSTED": self._check_app_hosted,
             "MC-STATION-BEARER": self._check_station_bearer,
             "MC-MIDDLEWARE-COMPAT": self._check_middleware_compat,
+            "MC-MIDDLEWARE-PROPS": self._check_middleware_props,
             "HOST-INTERNALS": self._check_host_internals,
             "EDGES-RESOLVED": self._check_edges_resolved,
             "REACHABLE": self._check_reachable,
@@ -327,6 +328,52 @@ class ModelChecker:
         return Verdict.PASS, (
             f"{kind} sessions terminate at a hosted "
             f"{MIDDLEWARE_GATEWAYS.get(kind, 'gateway')}")
+
+    def _check_middleware_props(self):
+        """Cross-validate built middleware against Table 3's properties."""
+        from ..middleware import TABLE3_PROPERTIES
+
+        kind = self._declared_middleware_kind()
+        if kind not in TABLE3_PROPERTIES:
+            return Verdict.INCONCLUSIVE, (
+                "no declared Table 3 middleware kind to validate against")
+        gateways = self.model.components(ComponentKind.MOBILE_MIDDLEWARE)
+        implementations = [g for g in gateways if g.implementation is not None]
+        if not implementations:
+            return Verdict.INCONCLUSIVE, (
+                "no middleware implementation mounted to inspect")
+        expected = TABLE3_PROPERTIES[kind]
+        problems = []
+        for gateway in implementations:
+            impl = gateway.implementation
+            for prop, want in expected.items():
+                have = getattr(impl, prop, None)
+                if have != want:
+                    problems.append(
+                        f"{gateway.name}: {prop}={have!r}, Table 3 "
+                        f"says {want!r}")
+        # Device-side sessions must agree on the session model (a
+        # resilient composite is judged by its primary route).
+        for handle in getattr(self.system, "stations", None) or []:
+            session = getattr(handle, "session", None)
+            if session is None:
+                continue
+            routes = getattr(session, "routes", None)
+            if routes:
+                session = routes[0]
+            have = getattr(session, "session_model", None)
+            if have != expected["session_model"]:
+                name = getattr(getattr(handle, "station", None), "name",
+                               "station")
+                problems.append(
+                    f"{name} session: session_model={have!r}, Table 3 "
+                    f"says {expected['session_model']!r}")
+        if problems:
+            return Verdict.FAIL, "; ".join(problems)
+        return Verdict.PASS, (
+            f"{kind} middleware matches Table 3: markup="
+            f"{expected['markup']}, session={expected['session_model']}, "
+            f"payload_limit={expected['payload_limit']}")
 
 
 def check_reference_systems(seed: int = 0) -> dict[str, ModelCheckReport]:

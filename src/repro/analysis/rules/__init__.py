@@ -15,6 +15,7 @@ from .base import (
     register_rule,
 )
 from .determinism import ModuleRandomRule, WallClockRule
+from .faults import FaultScheduleRule
 from .hygiene import (
     BareExceptRule,
     BroadExceptRule,
@@ -32,6 +33,7 @@ __all__ = [
     "register_rule",
     "ModuleRandomRule",
     "WallClockRule",
+    "FaultScheduleRule",
     "BareExceptRule",
     "BroadExceptRule",
     "ExportDriftRule",

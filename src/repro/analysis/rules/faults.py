@@ -1,0 +1,105 @@
+"""Chaos-determinism rule: fault schedules must live on the sim clock.
+
+A fault plan built from ``time.time()`` offsets or module-level
+``random`` draws silently destroys the chaos engine's byte-for-byte
+reproducibility guarantee.  This rule inspects every module that uses
+:mod:`repro.faults` and flags ``FaultPlan``/``FaultSpec`` construction
+(and ``plan.add(...)`` / ``FaultPlan.random(...)`` calls) whose
+argument expressions contain wall-clock reads or unseeded
+``random.*`` calls.  Schedules must derive from ``sim.now``, plain
+constants, or a seeded :class:`~repro.sim.RandomStream`.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..findings import Finding, SEVERITY_ERROR
+from .base import ModuleInfo, Rule, register_rule
+from .determinism import WALL_CLOCK_ATTRS, _dotted
+
+__all__ = ["FaultScheduleRule"]
+
+# Call targets whose arguments form a fault schedule.
+_SCHEDULE_CALLEES = {"FaultPlan", "FaultSpec"}
+_SCHEDULE_METHODS = {"add", "random", "from_dict"}
+
+
+def _uses_faults(info: ModuleInfo) -> bool:
+    for node in ast.walk(info.tree):
+        if isinstance(node, ast.ImportFrom) and node.module and \
+                "faults" in node.module.split("."):
+            return True
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if "faults" in alias.name.split("."):
+                    return True
+    return False
+
+
+def _is_schedule_call(node: ast.Call) -> bool:
+    name = _dotted(node.func)
+    if not name:
+        return False
+    parts = name.split(".")
+    if parts[-1] in _SCHEDULE_CALLEES:
+        return True
+    if len(parts) >= 2 and parts[-1] in _SCHEDULE_METHODS and \
+            ("plan" in parts[-2].lower() or parts[-2] in _SCHEDULE_CALLEES):
+        return True
+    return False
+
+
+def _nondeterministic_source(node: ast.AST) -> str:
+    """Why an argument subtree is nondeterministic, or ''."""
+    for child in ast.walk(node):
+        if not isinstance(child, ast.Call):
+            continue
+        name = _dotted(child.func)
+        if not name:
+            continue
+        parts = name.split(".")
+        if len(parts) >= 2 and parts[0] in WALL_CLOCK_ATTRS and \
+                parts[-1] in WALL_CLOCK_ATTRS[parts[0]]:
+            return f"wall-clock call {name}()"
+        if parts[0] == "random" and len(parts) >= 2:
+            return f"module-random call {name}()"
+        if parts[0] == "datetime" and parts[-1] in \
+                WALL_CLOCK_ATTRS["datetime"]:
+            return f"wall-clock call {name}()"
+    return ""
+
+
+@register_rule
+class FaultScheduleRule(Rule):
+    """Fault plans must be scheduled from sim time and seeded streams.
+
+    In any module touching :mod:`repro.faults`, flags
+    ``FaultPlan(...)``, ``FaultSpec(...)``, ``plan.add(...)``,
+    ``plan.random(...)`` and ``FaultSpec.from_dict(...)`` calls whose
+    arguments contain ``time.*``/``datetime.*`` wall-clock reads or
+    module-level ``random.*`` draws.
+    """
+
+    rule_id = "fault-schedule"
+    severity = SEVERITY_ERROR
+    description = ("fault schedule built from wall clock or unseeded "
+                   "random; use sim.now and sim-seeded RandomStream")
+
+    def check_module(self, info: ModuleInfo) -> Iterator[Finding]:
+        if not _uses_faults(info):
+            return
+        for node in ast.walk(info.tree):
+            if not isinstance(node, ast.Call) or not _is_schedule_call(node):
+                continue
+            for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                reason = _nondeterministic_source(arg)
+                if reason:
+                    yield self.finding(
+                        info, node.lineno,
+                        f"fault schedule argument uses {reason}: chaos "
+                        "plans must be a pure function of the seed and "
+                        "the simulation clock",
+                    )
+                    break

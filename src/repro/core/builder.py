@@ -21,7 +21,9 @@ from typing import Optional
 from ..db import DatabaseClient, DatabaseServer
 from ..devices import Microbrowser, MobileStation, build_station
 from ..middleware import (
+    CLIPPING_PORT,
     DirectHTTPSession,
+    IMODE_PORT,
     IModeCenter,
     IModeSession,
     MiddlewareSession,
@@ -29,8 +31,11 @@ from ..middleware import (
     WAPGateway,
     WAPSession,
     WebClippingProxy,
+    WSP_PORT,
+    WTLS_PORT,
 )
 from ..net import AddressAllocator, NameRegistry, Network, Node, Subnet
+from ..resilience import ResilienceConfig, ResilientSession
 from ..security import PaymentProcessor, TokenIssuer, UserStore
 from ..sim import SeedBank, Simulator
 from ..web import WebServer
@@ -137,6 +142,15 @@ class MCSystem(_BaseSystem):
         self._session_fn = session_fn
         self._station_allocator = station_allocator
         self.stations: list[StationHandle] = []
+        # Resilience wiring (populated by the builder): the primary
+        # middleware gateway/centre/proxy, the optional standby, the
+        # ResilienceConfig in force, and the retry policy + default
+        # request timeout TransactionEngine picks up automatically.
+        self.gateway = None
+        self.standby_gateway = None
+        self.resilience: Optional[ResilienceConfig] = None
+        self.retry_policy = None
+        self.request_timeout: Optional[float] = None
 
     def add_station(self, device_name: str,
                     position: Position = Position(10.0, 0.0),
@@ -243,7 +257,8 @@ class MCSystemBuilder:
 
     def __init__(self, seed: int = 0, middleware: str = "WAP",
                  bearer: tuple[str, str] = ("cellular", "GPRS"),
-                 wireless_loss: float = 0.0, secure_wap: bool = False):
+                 wireless_loss: float = 0.0, secure_wap: bool = False,
+                 resilience: Optional[ResilienceConfig] = None):
         if middleware not in ("WAP", "i-mode", "Palm"):
             raise ValueError(f"unknown middleware {middleware!r}")
         if secure_wap and middleware != "WAP":
@@ -257,6 +272,9 @@ class MCSystemBuilder:
         self.bearer_kind = bearer_kind
         self.bearer_name = bearer_name
         self.wireless_loss = wireless_loss
+        # None keeps historical behaviour bit-for-bit: no breakers, no
+        # standby gateway, no retry, no shedding.
+        self.resilience = resilience
 
     def build(self) -> MCSystem:
         seeds = SeedBank(self.seed)
@@ -306,9 +324,22 @@ class MCSystemBuilder:
         network.build_routes()
 
         # -- middleware service -------------------------------------------
+        res = self.resilience
+        origin_timeout = res.origin_timeout if res is not None else 30.0
+        breaker = (res.breaker(sim, name=f"{self.middleware}-origin")
+                   if res is not None else None)
+        want_standby = res is not None and res.standby_gateway
+        standby_breaker = (
+            res.breaker(sim, name=f"{self.middleware}-origin-standby")
+            if want_standby else None)
+        standby_gateway = None
+        make_standby_session = None
+
         if self.middleware == "WAP":
             gateway = WAPGateway(middleware_node, registry,
-                                 entropy=seeds.stream("wtls-gateway"))
+                                 entropy=seeds.stream("wtls-gateway"),
+                                 breaker=breaker,
+                                 origin_timeout=origin_timeout)
             secure = self.secure_wap
 
             def make_session(station: MobileStation) -> MiddlewareSession:
@@ -319,18 +350,72 @@ class MCSystemBuilder:
                         entropy=seeds.stream(f"wtls-{station.name}"))
                 return WAPSession(station,
                                   middleware_node.primary_address)
+
+            if want_standby:
+                standby_gateway = WAPGateway(
+                    middleware_node, registry, port=WSP_PORT + 10,
+                    wtls_port=WTLS_PORT + 10,
+                    entropy=seeds.stream("wtls-gateway-standby"),
+                    breaker=standby_breaker, origin_timeout=origin_timeout)
+
+                def make_standby_session(station):
+                    if secure:
+                        return WAPSession(
+                            station, middleware_node.primary_address,
+                            port=WTLS_PORT + 10, secure=True,
+                            entropy=seeds.stream(
+                                f"wtls-standby-{station.name}"))
+                    return WAPSession(station,
+                                      middleware_node.primary_address,
+                                      port=WSP_PORT + 10)
         elif self.middleware == "Palm":
-            gateway = WebClippingProxy(middleware_node, registry)
+            gateway = WebClippingProxy(middleware_node, registry,
+                                       breaker=breaker,
+                                       origin_timeout=origin_timeout)
 
             def make_session(station: MobileStation) -> MiddlewareSession:
                 return PalmSession(station,
                                    middleware_node.primary_address)
+
+            if want_standby:
+                standby_gateway = WebClippingProxy(
+                    middleware_node, registry, port=CLIPPING_PORT + 10,
+                    breaker=standby_breaker, origin_timeout=origin_timeout)
+
+                def make_standby_session(station):
+                    return PalmSession(station,
+                                       middleware_node.primary_address,
+                                       port=CLIPPING_PORT + 10)
         else:
-            gateway = IModeCenter(middleware_node, registry)
+            gateway = IModeCenter(middleware_node, registry,
+                                  breaker=breaker,
+                                  origin_timeout=origin_timeout)
 
             def make_session(station: MobileStation) -> MiddlewareSession:
                 return IModeSession(station,
                                     middleware_node.primary_address)
+
+            if want_standby:
+                standby_gateway = IModeCenter(
+                    middleware_node, registry, port=IMODE_PORT + 10,
+                    breaker=standby_breaker, origin_timeout=origin_timeout)
+
+                def make_standby_session(station):
+                    return IModeSession(station,
+                                        middleware_node.primary_address,
+                                        port=IMODE_PORT + 10)
+
+        if res is not None:
+            make_primary_session = make_session
+
+            def make_session(station: MobileStation) -> MiddlewareSession:
+                routes = [make_primary_session(station)]
+                if make_standby_session is not None:
+                    routes.append(make_standby_session(station))
+                if res.direct_fallback:
+                    routes.append(DirectHTTPSession(station, registry))
+                return ResilientSession(routes,
+                                        timeout=res.request_timeout)
 
         # -- figure 2 model ----------------------------------------------
         _host_model(model, host)
@@ -367,6 +452,15 @@ class MCSystemBuilder:
             station_allocator=allocator,
         )
         model.component("mobile-stations").implementation = system.stations
+        system.gateway = gateway
+        system.standby_gateway = standby_gateway
+        system.resilience = res
+        if res is not None:
+            host.web_server.enable_load_shedding(
+                backlog=res.shed_backlog, retry_after=res.shed_retry_after)
+            system.retry_policy = res.retry_policy(
+                seeds.stream("retry-jitter"))
+            system.request_timeout = res.request_timeout
         return system
 
 

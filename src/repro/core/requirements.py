@@ -80,6 +80,11 @@ STRUCTURAL_CLAIMS: tuple[Claim, ...] = (
           "the mounted middleware matches its protocol family: WAP "
           "requires a hosted WAP gateway, i-mode a centre with cHTML "
           "adaptation, Palm a web-clipping proxy", ("mc",)),
+    Claim("MC-MIDDLEWARE-PROPS", "Table 3",
+          "the built middleware exhibits its Table 3 properties: markup "
+          "language (WML / cHTML / web clipping), session model "
+          "(gateway-session / always-on / request-response) and payload "
+          "ceiling (Palm: 1024 bytes per clipping)", ("mc",)),
     Claim("HOST-INTERNALS", "Section 7",
           "host computers contain web servers, database servers and "
           "application programs"),

@@ -14,13 +14,17 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
-from ..middleware import MiddlewareResponse
+from ..middleware import MiddlewareResponse, RequestTimeout
 from ..obs import ctx_of, end_span, start_span
 from ..sim import Event, Interrupt, SimulationError, Simulator
 
 __all__ = ["TransactionRecord", "TransactionContext", "TransactionEngine"]
 
 _txn_ids = itertools.count(1)
+
+# Transport failures a retry policy may absorb: the request never got a
+# definitive answer, so trying again is safe for idempotent flows.
+TRANSIENT_ERRORS = (RequestTimeout, ConnectionError)
 
 
 @dataclass
@@ -38,6 +42,7 @@ class TransactionRecord:
     requests: int = 0
     bytes_received: int = 0
     render_seconds: float = 0.0
+    retries: int = 0
     steps: list[str] = field(default_factory=list)
     # Id of this transaction's root span when a tracer was installed.
     trace_id: Optional[int] = None
@@ -61,18 +66,75 @@ class TransactionContext:
         self.trace = trace
 
     # -- network I/O ------------------------------------------------------
-    def get(self, path: str):
-        """Generator: GET a host path through the middleware session."""
-        response = yield self.handle.session.get(self.system.url(path),
-                                                 trace=self.trace)
-        self._account(path, response)
-        return response
+    def get(self, path: str, timeout: Optional[float] = None):
+        """Generator: GET a host path through the middleware session.
 
-    def post(self, path: str, form: dict):
-        response = yield self.handle.session.post(self.system.url(path),
-                                                  form, trace=self.trace)
-        self._account(path, response)
-        return response
+        ``timeout`` caps each attempt in sim-seconds (falling back to
+        the engine's ``request_timeout``, then the retry policy's
+        ``attempt_timeout``).  When the engine carries a retry policy,
+        transient failures — :class:`RequestTimeout`,
+        ``ConnectionError`` and retryable 5xx statuses — are retried
+        with exponential backoff on the sim clock, honouring any
+        ``Retry-After`` hint the server shed with.
+        """
+        return (yield from self._call("get", path, None, timeout))
+
+    def post(self, path: str, form: dict, timeout: Optional[float] = None):
+        return (yield from self._call("post", path, form, timeout))
+
+    def _call(self, method: str, path: str, form, timeout: Optional[float]):
+        policy = self.engine.retry
+        deadline = timeout
+        if deadline is None:
+            deadline = self.engine.request_timeout
+        if deadline is None and policy is not None:
+            deadline = policy.attempt_timeout
+        url = self.system.url(path)
+        session = self.handle.session
+        attempts = policy.max_attempts if policy is not None else 1
+        attempt = 1
+        while True:
+            try:
+                if deadline is None:
+                    # Legacy call shape: keep duck-typed sessions that
+                    # predate the timeout keyword working untouched.
+                    if method == "get":
+                        response = yield session.get(url, trace=self.trace)
+                    else:
+                        response = yield session.post(url, form,
+                                                      trace=self.trace)
+                elif method == "get":
+                    response = yield session.get(url, trace=self.trace,
+                                                 timeout=deadline)
+                else:
+                    response = yield session.post(url, form, trace=self.trace,
+                                                  timeout=deadline)
+            except TRANSIENT_ERRORS as exc:
+                if attempt >= attempts:
+                    raise
+                delay = policy.backoff(attempt)
+                self.record.retries += 1
+                self.record.steps.append(
+                    f"{path} !! {type(exc).__name__}; "
+                    f"retry {attempt} in {delay:.3f}s")
+                yield self.engine.sim.timeout(delay)
+                attempt += 1
+                continue
+            if (policy is not None and attempt < attempts
+                    and policy.retryable_status(response.status)):
+                delay = policy.backoff(attempt)
+                hint = getattr(response, "meta", {}).get("retry_after")
+                if hint is not None:
+                    delay = max(delay, float(hint))
+                self.record.retries += 1
+                self.record.steps.append(
+                    f"{path} -> {response.status}; "
+                    f"retry {attempt} in {delay:.3f}s")
+                yield self.engine.sim.timeout(delay)
+                attempt += 1
+                continue
+            self._account(path, response)
+            return response
 
     def _account(self, path: str, response: MiddlewareResponse) -> None:
         self.record.requests += 1
@@ -103,11 +165,24 @@ FlowFunction = Callable[[TransactionContext], Any]
 
 
 class TransactionEngine:
-    """Runs flows against a built system and keeps the ledger."""
+    """Runs flows against a built system and keeps the ledger.
 
-    def __init__(self, system):
+    ``retry`` is an optional policy object (duck-typed as
+    :class:`repro.resilience.RetryPolicy`: ``max_attempts``,
+    ``backoff(attempt)``, ``retryable_status(status)``,
+    ``attempt_timeout``).  ``request_timeout`` is a per-attempt
+    deadline applied to every context call that doesn't name its own.
+    Both default to off, preserving the seed behaviour exactly.
+    """
+
+    def __init__(self, system, retry=None,
+                 request_timeout: Optional[float] = None):
         self.system = system
         self.sim: Simulator = system.sim
+        self.retry = retry if retry is not None \
+            else getattr(system, "retry_policy", None)
+        self.request_timeout = request_timeout if request_timeout is not None \
+            else getattr(system, "request_timeout", None)
         self.records: list[TransactionRecord] = []
 
     def run_flow(self, handle, flow: FlowFunction,

@@ -1,0 +1,245 @@
+"""Named chaos scenarios and the end-to-end chaos runner.
+
+:func:`run_chaos` builds a complete mobile commerce system (optionally
+with the resilience policies on), mounts the commerce application,
+runs a fleet of shoppers while a :class:`FaultEngine` executes the
+scenario's fault plan, and returns a deterministic JSON-able report —
+success rate, latency percentiles, retry/failover/breaker/shedding
+counters, and the plan itself.  Everything derives from the seed and
+the sim clock, so the same arguments produce a byte-identical report.
+"""
+
+from __future__ import annotations
+
+import json
+
+from ..apps import CommerceApp
+from ..core import MCSystemBuilder, TransactionEngine
+from ..resilience import ResilienceConfig
+from .engine import FaultEngine
+from .plan import FaultPlan
+
+__all__ = ["SCENARIOS", "scenario_plan", "run_chaos", "report_json",
+           "percentile"]
+
+DEFAULT_DEVICE = "Nokia 9290 Communicator"
+
+
+# ------------------------------------------------------------- scenarios
+def _flaky_radio(stream, horizon, intensity):
+    """Radio link flaps plus elevated-loss windows, repeating."""
+    plan = FaultPlan()
+    period = max(20.0, horizon / 6.0)
+    at = period / 2.0
+    while at < horizon:
+        plan.add("link_flap", at=at, duration=2.0 + 4.0 * intensity,
+                 target="cell-")
+        loss_at = at + period / 2.0
+        if loss_at < horizon:
+            plan.add("wireless_loss", at=loss_at,
+                     duration=6.0 + 6.0 * intensity,
+                     magnitude=min(0.8, 0.3 + 0.5 * intensity))
+        at += period
+    return plan
+
+
+def _gateway_outage(stream, horizon, intensity):
+    """Primary gateway crashes mid-run; a shorter relapse later."""
+    plan = FaultPlan()
+    plan.add("gateway_crash", at=horizon * 0.2,
+             duration=horizon * (0.1 + 0.15 * intensity))
+    plan.add("gateway_crash", at=horizon * 0.6,
+             duration=horizon * 0.08 * (1.0 + intensity))
+    if intensity >= 0.75:
+        # Hard mode: the standby goes down while the primary is out.
+        plan.add("gateway_crash", at=horizon * 0.22,
+                 duration=horizon * 0.05, target="standby")
+    return plan
+
+
+def _brownout(stream, horizon, intensity):
+    """Host-tier brownout: worker stalls, a DB lock stall, one crash."""
+    plan = FaultPlan()
+    plan.add("server_stall", at=horizon * 0.15,
+             duration=2.0 + 6.0 * intensity)
+    plan.add("db_stall", at=horizon * 0.4,
+             duration=1.0 + 3.0 * intensity)
+    plan.add("server_crash", at=horizon * 0.65,
+             duration=2.0 + 8.0 * intensity)
+    return plan
+
+
+def _dns_blackout(stream, horizon, intensity):
+    plan = FaultPlan()
+    plan.add("dns_blackout", at=horizon * 0.25,
+             duration=3.0 + 9.0 * intensity)
+    plan.add("dns_blackout", at=horizon * 0.7,
+             duration=2.0 + 6.0 * intensity)
+    return plan
+
+
+def _storm(stream, horizon, intensity):
+    """Seeded Poisson storm across the whole taxonomy."""
+    return FaultPlan.random(stream, horizon, intensity=intensity)
+
+
+SCENARIOS = {
+    "flaky-radio": _flaky_radio,
+    "gateway-outage": _gateway_outage,
+    "brownout": _brownout,
+    "dns-blackout": _dns_blackout,
+    "storm": _storm,
+}
+
+
+def scenario_plan(scenario: str, stream, horizon: float,
+                  intensity: float) -> FaultPlan:
+    try:
+        build = SCENARIOS[scenario]
+    except KeyError:
+        raise ValueError(f"unknown scenario {scenario!r} "
+                         f"(known: {', '.join(sorted(SCENARIOS))})")
+    return build(stream, horizon, intensity)
+
+
+# ------------------------------------------------------------- reporting
+def percentile(values, q: float) -> float:
+    """Nearest-rank percentile (deterministic, no interpolation)."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    # ceil(q * n) as an integer rank, then 0-based clamped index.
+    rank = int(q * len(ordered))
+    if rank < q * len(ordered):
+        rank += 1
+    return ordered[max(0, min(len(ordered) - 1, rank - 1))]
+
+
+# ------------------------------------------------------------- the runner
+def run_chaos(scenario: str = "storm", seed: int = 0,
+              intensity: float = 0.5, policies: bool = True,
+              stations: int = 4, transactions_per_station: int = 6,
+              horizon: float = 240.0, middleware: str = "WAP",
+              bearer: tuple = ("cellular", "GPRS"),
+              device: str = DEFAULT_DEVICE,
+              plan: FaultPlan = None) -> dict:
+    """Run one chaos scenario end to end; returns the report dict.
+
+    ``policies=False`` builds the identical system without any
+    resilience wiring (no retry, breakers, standby, shedding), which is
+    the baseline the benchmark compares against.  An explicit ``plan``
+    overrides the scenario's schedule (the scenario name is still
+    recorded).
+    """
+    resilience = ResilienceConfig() if policies else None
+    builder = MCSystemBuilder(seed=seed, middleware=middleware,
+                              bearer=bearer, resilience=resilience)
+    system = builder.build()
+
+    shop = CommerceApp(items=[("WAP Phone", 19900, 10_000),
+                              ("Leather Case", 950, 10_000)])
+    system.mount_application(shop)
+    for index in range(stations):
+        system.host.payment.open_account(f"shopper{index}", 100_000_000)
+
+    handles = [system.add_station(device, name=f"station-{index}")
+               for index in range(stations)]
+    engine = TransactionEngine(system)
+
+    if plan is None:
+        plan_stream = system.seeds.stream("chaos-plan")
+        plan = scenario_plan(scenario, plan_stream, horizon, intensity)
+    faults = FaultEngine(system, plan).start()
+
+    think = system.seeds.stream("chaos-think")
+    # Pace each shopper so its transactions spread across the horizon
+    # (otherwise everything finishes before the first fault fires).
+    interval = horizon / (transactions_per_station + 1)
+
+    def shopper(handle, account):
+        def loop(env):
+            yield env.timeout(think.uniform(0.1, 0.9) * interval)
+            for _ in range(transactions_per_station):
+                started = env.now
+                flow = shop.browse_and_buy(item_id=1, account=account)
+                yield engine.run_flow(handle, flow)
+                elapsed = env.now - started
+                pause = max(0.1, interval - elapsed)
+                yield env.timeout(pause * think.uniform(0.7, 1.3))
+        return loop
+
+    for index, handle in enumerate(handles):
+        system.sim.spawn(shopper(handle, f"shopper{index}")(system.sim),
+                         name=f"shopper-{index}")
+
+    system.run(until=horizon)
+
+    records = engine.completed
+    latencies = sorted(engine.latencies())
+    errors: dict = {}
+    for record in records:
+        if not record.ok:
+            label = record.error.split(":", 1)[0] or "unknown"
+            errors[label] = errors.get(label, 0) + 1
+
+    report = {
+        "scenario": scenario,
+        "seed": seed,
+        "intensity": intensity,
+        "policies": bool(policies),
+        "middleware": middleware,
+        "bearer": list(bearer),
+        "device": device,
+        "horizon": horizon,
+        "stations": stations,
+        "transactions_per_station": transactions_per_station,
+        "plan": [spec.to_dict() for spec in plan.ordered()],
+        "faults": dict(sorted(faults.stats.as_dict().items())),
+        "completed": len(records),
+        "successful": len(engine.successful),
+        "success_rate": round(engine.success_rate(), 6),
+        "retries": sum(record.retries for record in records),
+        "errors": dict(sorted(errors.items())),
+        "latency": {
+            "p50": round(percentile(latencies, 0.50), 6),
+            "p95": round(percentile(latencies, 0.95), 6),
+            "max": round(latencies[-1], 6) if latencies else 0.0,
+        },
+        "resilience": _resilience_counters(system, handles),
+    }
+    return report
+
+
+def _resilience_counters(system, handles) -> dict:
+    counters: dict = {"enabled": system.resilience is not None}
+    web = system.host.web_server
+    counters["shed_requests"] = web.stats.get("shed_requests")
+    counters["web_crashes"] = web.stats.get("crashes")
+    for label, gateway in (("gateway", system.gateway),
+                           ("standby_gateway", system.standby_gateway)):
+        if gateway is None:
+            continue
+        entry = {
+            "crashes": gateway.stats.get("crashes"),
+            "origin_timeouts": gateway.stats.get("origin_timeouts"),
+            "breaker_rejections": gateway.stats.get("breaker_rejections"),
+        }
+        breaker = getattr(gateway, "breaker", None)
+        if breaker is not None:
+            entry["breaker"] = dict(sorted(breaker.stats.as_dict().items()))
+        counters[label] = entry
+    failovers = route_failures = 0
+    for handle in handles:
+        stats = getattr(handle.session, "stats", None)
+        if stats is None:
+            continue
+        failovers += stats.get("failovers")
+        route_failures += stats.get("route_failures")
+    counters["failovers"] = failovers
+    counters["route_failures"] = route_failures
+    return counters
+
+
+def report_json(report: dict) -> str:
+    """Canonical serialisation: byte-identical for identical reports."""
+    return json.dumps(report, indent=2, sort_keys=True)

@@ -1,0 +1,220 @@
+"""Fault injectors: one generator per fault kind.
+
+Each injector is a generator driven by the
+:class:`~repro.faults.engine.FaultEngine` inside its own process.  It
+applies the fault to the built system, holds it for ``spec.duration``
+sim-seconds, and restores the pre-fault state on the way out — always
+through the components' public fault hooks (``take_down``/``bring_up``,
+``crash``/``restart``, lock acquisition), never by monkey-patching
+behaviour, so a faulted run exercises exactly the code a healthy run
+does.
+"""
+
+from __future__ import annotations
+
+from ..db.transactions import DeadlockError
+
+__all__ = [
+    "INJECTORS",
+    "links_for",
+    "radio_links_for",
+    "stations_for",
+    "inject_link_flap",
+    "inject_wireless_loss",
+    "inject_gateway_crash",
+    "inject_server_stall",
+    "inject_server_crash",
+    "inject_db_stall",
+    "inject_dns_blackout",
+    "inject_battery_drain",
+    "inject_memory_pressure",
+]
+
+
+# ------------------------------------------------------------- selectors
+def links_for(system, target: str = ""):
+    """All links (wired + live radio bearers) matching a name substring."""
+    links = list(system.network.links)
+    for handle in getattr(system, "stations", []):
+        attachment = handle.attachment
+        link = getattr(attachment, "link", None)
+        if link is not None and link not in links:
+            links.append(link)
+    if target:
+        links = [link for link in links if target in link.name]
+    return links
+
+
+def radio_links_for(system, target: str = ""):
+    """Only the wireless bearer links (layer == "wireless")."""
+    return [link for link in links_for(system, target)
+            if getattr(link, "layer", "wired") == "wireless"]
+
+
+def stations_for(system, target: str = ""):
+    stations = [handle.station for handle in getattr(system, "stations", [])]
+    if target:
+        stations = [s for s in stations if target in s.name]
+    return stations
+
+
+# ------------------------------------------------------------- injectors
+def inject_link_flap(system, spec):
+    """Take matching links down, bring them back after the window."""
+    links = links_for(system, spec.target)
+    downed = [link for link in links if not link.is_down]
+    for link in downed:
+        link.take_down()
+    try:
+        yield system.sim.timeout(spec.duration)
+    finally:
+        for link in downed:
+            link.bring_up()
+
+
+def inject_wireless_loss(system, spec):
+    """Elevated frame-loss window on the radio links.
+
+    ``magnitude`` is the loss probability during the window.  Links
+    built without a loss stream get a seeded one for the window (named
+    by the spec's start time, so it is reproducible), restored after.
+    """
+    links = radio_links_for(system, spec.target)
+    loss = min(1.0, spec.magnitude)
+    saved = []
+    for index, link in enumerate(links):
+        saved.append((link, link.loss_rate, link._loss_stream))
+        if link._loss_stream is None:
+            link._loss_stream = system.seeds.stream(
+                f"fault-loss-{spec.at:g}-{index}")
+        link.loss_rate = loss
+    try:
+        yield system.sim.timeout(spec.duration)
+    finally:
+        for link, rate, stream in saved:
+            link.loss_rate = rate
+            link._loss_stream = stream
+
+
+def inject_gateway_crash(system, spec):
+    """Crash the middleware gateway (or the standby, target="standby")."""
+    gateway = (system.standby_gateway if spec.target == "standby"
+               else system.gateway)
+    if gateway is None:
+        return
+    gateway.crash()
+    try:
+        yield system.sim.timeout(spec.duration)
+    finally:
+        gateway.restart()
+
+
+def inject_server_stall(system, spec):
+    """Wedge every web-server worker for the window (pool exhausted)."""
+    server = system.host.web_server
+    grants = [server.workers.request()
+              for _ in range(server.workers.capacity)]
+    try:
+        for grant in grants:
+            yield grant
+        yield system.sim.timeout(spec.duration)
+    finally:
+        for grant in grants:
+            if grant.triggered:
+                server.workers.release(grant)
+            else:
+                grant.cancel()
+
+
+def inject_server_crash(system, spec):
+    server = system.host.web_server
+    server.crash()
+    try:
+        yield system.sim.timeout(spec.duration)
+    finally:
+        server.restart()
+
+
+def inject_db_stall(system, spec):
+    """Hold an exclusive lock on a table (default shop_items).
+
+    Every query path acquires table locks, so catalog reads stall
+    behind this until it releases or their lock timeout fires.
+    """
+    table = spec.target or "shop_items"
+    manager = system.host.db_server.manager
+    txn = manager.begin()
+    try:
+        yield manager.acquire(txn, table, True)
+        yield system.sim.timeout(spec.duration)
+    except DeadlockError:
+        # Could not get the lock inside the lock timeout: the stall
+        # window simply does not happen.
+        pass
+    finally:
+        txn.rollback()
+
+
+def inject_dns_blackout(system, spec):
+    """Remove DNS records for the window (target = one name, or all)."""
+    registry = system.registry
+    if spec.target:
+        names = [spec.target.lower()]
+    else:
+        names = list(registry._records)
+    saved = {}
+    for name in names:
+        address = registry.lookup(name)
+        if address is not None:
+            saved[name] = address
+            registry.unregister(name)
+    try:
+        yield system.sim.timeout(spec.duration)
+    finally:
+        for name, address in saved.items():
+            registry.register(name, address)
+
+
+def inject_battery_drain(system, spec):
+    """Instantly drain ``magnitude`` of each matching station's battery.
+
+    Irreversible (batteries don't un-drain); the one injector that is
+    not restored after its window.
+    """
+    for station in stations_for(system, spec.target):
+        battery = station.battery
+        battery.charge = max(0.0,
+                             battery.charge - spec.magnitude
+                             * battery.capacity)
+    return
+    yield  # pragma: no cover - keeps this an (empty) generator
+
+
+def inject_memory_pressure(system, spec):
+    """Allocate ``magnitude`` of each station's free RAM for the window."""
+    tag = f"fault-mem-{spec.at:g}"
+    held = []
+    for station in stations_for(system, spec.target):
+        ballast = int(station.memory.free_kb * min(1.0, spec.magnitude))
+        if ballast <= 0:
+            continue
+        station.memory.allocate(tag, ballast)
+        held.append(station)
+    try:
+        yield system.sim.timeout(spec.duration)
+    finally:
+        for station in held:
+            station.memory.free(tag)
+
+
+INJECTORS = {
+    "link_flap": inject_link_flap,
+    "wireless_loss": inject_wireless_loss,
+    "gateway_crash": inject_gateway_crash,
+    "server_stall": inject_server_stall,
+    "server_crash": inject_server_crash,
+    "db_stall": inject_db_stall,
+    "dns_blackout": inject_dns_blackout,
+    "battery_drain": inject_battery_drain,
+    "memory_pressure": inject_memory_pressure,
+}

@@ -14,7 +14,9 @@ from .base import (
     encode_obj,
     MiddlewareResponse,
     MiddlewareSession,
+    RequestTimeout,
     encode_frame,
+    guard_timeout,
     split_url,
 )
 from .direct import DirectHTTPSession
@@ -48,6 +50,9 @@ __all__ = [
     "FrameReader",
     "MiddlewareResponse",
     "MiddlewareSession",
+    "RequestTimeout",
+    "TABLE3_PROPERTIES",
+    "guard_timeout",
     "encode_frame",
     "encode_obj",
     "decode_obj",
@@ -77,3 +82,16 @@ __all__ = [
     "encode_wmlc",
     "parse_wml",
 ]
+
+# Table 3's middleware properties, as the paper states them: markup
+# language served to the device, session model, and the per-response
+# payload ceiling (None = unlimited).  The static model checker
+# cross-validates built gateways and sessions against this registry.
+TABLE3_PROPERTIES = {
+    "WAP": {"markup": "WML", "session_model": "gateway-session",
+            "payload_limit": None},
+    "i-mode": {"markup": "cHTML", "session_model": "always-on",
+               "payload_limit": None},
+    "Palm": {"markup": "web-clipping", "session_model": "request-response",
+             "payload_limit": 1024},
+}

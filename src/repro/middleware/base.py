@@ -20,8 +20,46 @@ from urllib.parse import urlsplit
 
 from ..sim import Event
 
-__all__ = ["MiddlewareResponse", "MiddlewareSession", "split_url",
-           "encode_frame", "encode_obj", "decode_obj", "FrameReader"]
+__all__ = ["RequestTimeout", "MiddlewareResponse", "MiddlewareSession",
+           "guard_timeout", "split_url", "encode_frame", "encode_obj",
+           "decode_obj", "FrameReader"]
+
+
+class RequestTimeout(Exception):
+    """A middleware request exceeded its caller-supplied deadline.
+
+    Raised (as an event failure) by sessions whose ``get``/``post`` was
+    given a ``timeout``; it distinguishes "the network is slow/dead"
+    from protocol-level failures so retry policies can treat it as
+    transient.
+    """
+
+
+def guard_timeout(sim, result: Event, proc, timeout: Optional[float],
+                  detail: str = "") -> None:
+    """Enforce ``timeout`` on a session exchange.
+
+    Spawns a watchdog racing ``result`` against a sim-clock deadline;
+    if the deadline fires first the exchange process is interrupted
+    with a :class:`RequestTimeout` carried as the interrupt cause (the
+    exchange fails ``result`` with it and aborts its connection).  A
+    ``timeout`` of None installs nothing.
+    """
+    if timeout is None:
+        return
+
+    def watchdog(env):
+        expiry = env.timeout(timeout)
+        try:
+            yield env.any_of([result, expiry])
+        except Exception:  # repro: noqa[broad-except] failed result ends the watch
+            return
+        if not result.triggered:
+            proc.interrupt(RequestTimeout(
+                f"no middleware response within {timeout:g}s"
+                + (f" ({detail})" if detail else "")))
+
+    sim.spawn(watchdog(sim), name="request-timeout")
 
 
 @dataclass
@@ -43,17 +81,24 @@ class MiddlewareSession:
 
     middleware_name = "abstract"
 
-    def get(self, url: str, trace=None) -> Event:
+    def get(self, url: str, trace=None,
+            timeout: Optional[float] = None) -> Event:
         """Event yielding a MiddlewareResponse (or failing).
 
         ``trace`` is an optional observability TraceContext; sessions
         propagate it to the middleware server on whatever their protocol
         already carries (frame key or header).  It never changes what
         the request does.
+
+        ``timeout`` is a per-request deadline in sim-seconds: when set
+        and no response arrived in time, the event fails with
+        :class:`RequestTimeout` and the underlying connection is
+        aborted (a fresh one is established on the next request).
         """
         raise NotImplementedError
 
-    def post(self, url: str, form: dict, trace=None) -> Event:
+    def post(self, url: str, form: dict, trace=None,
+             timeout: Optional[float] = None) -> Event:
         raise NotImplementedError
 
     def close(self) -> None:

@@ -18,15 +18,23 @@ from ..net.tcp import TCPStack
 from ..obs import ctx_of, end_span, start_span
 from ..sim import Counter, Event
 from ..web.client import HTTPClient
-from .base import MiddlewareResponse, MiddlewareSession, split_url
+from .base import (
+    MiddlewareResponse,
+    MiddlewareSession,
+    RequestTimeout,
+    split_url,
+)
 
 __all__ = ["DirectHTTPSession"]
+
+DEFAULT_HTTP_TIMEOUT = 30.0
 
 
 class DirectHTTPSession(MiddlewareSession):
     """No-middleware client access for wired (EC) clients."""
 
     middleware_name = "direct-http"
+    session_model = "request-response"
 
     def __init__(self, node: Node, registry: NameRegistry,
                  tcp: Optional[TCPStack] = None):
@@ -36,19 +44,27 @@ class DirectHTTPSession(MiddlewareSession):
         self.http = HTTPClient(node, tcp=tcp)
         self.stats = Counter()
 
-    def get(self, url: str, trace=None) -> Event:
-        return self._fetch("GET", url, None, trace=trace)
+    def get(self, url: str, trace=None,
+            timeout: Optional[float] = None) -> Event:
+        return self._fetch("GET", url, None, trace=trace, timeout=timeout)
 
-    def post(self, url: str, form: dict, trace=None) -> Event:
+    def post(self, url: str, form: dict, trace=None,
+             timeout: Optional[float] = None) -> Event:
         return self._fetch("POST", url, urlencode(form).encode(),
-                           trace=trace)
+                           trace=trace, timeout=timeout)
 
-    def _fetch(self, method: str, url: str, body, trace=None) -> Event:
+    def _fetch(self, method: str, url: str, body, trace=None,
+               timeout: Optional[float] = None) -> Event:
         result = self.sim.event()
         span = None
         if trace is not None:
             span = start_span(self.sim, "http.request", "wired",
                               parent=trace, url=url)
+        # An explicit per-request timeout reaches HTTPClient.request and
+        # surfaces as RequestTimeout; the legacy default keeps the old
+        # 504-response shape for callers that never opted in.
+        explicit = timeout is not None
+        http_timeout = timeout if explicit else DEFAULT_HTTP_TIMEOUT
 
         def go(env):
             try:
@@ -66,20 +82,32 @@ class DirectHTTPSession(MiddlewareSession):
                 self.stats.incr("requests")
                 if method == "POST":
                     response = yield self.http.post(origin, path, body,
+                                                    timeout=http_timeout,
                                                     trace=ctx_of(span))
                 else:
                     response = yield self.http.get(origin, path,
+                                                   timeout=http_timeout,
                                                    trace=ctx_of(span))
                 if response is None:
+                    if explicit:
+                        self.stats.incr("request_timeouts")
+                        result.fail(RequestTimeout(
+                            f"no HTTP response within {http_timeout:g}s "
+                            f"({url})"))
+                        return
                     result.succeed(MiddlewareResponse(
                         status=504, content_type="text/plain",
                         body=b"timeout"))
                     return
+                meta = {"delivered_bytes": len(response.body)}
+                retry_after = response.headers.get("retry-after")
+                if retry_after is not None:
+                    meta["retry_after"] = float(retry_after)
                 result.succeed(MiddlewareResponse(
                     status=response.status,
                     content_type=response.content_type,
                     body=response.body,
-                    meta={"delivered_bytes": len(response.body)},
+                    meta=meta,
                 ))
             finally:
                 end_span(self.sim, span)

@@ -23,10 +23,15 @@ from ..net.dns import NameRegistry
 from ..net.node import Node
 from ..net.tcp import TCPConnection, TCPStack, tcp_stack
 from ..obs import ctx_of, end_span, start_span
-from ..sim import Counter, Event
+from ..sim import Counter, Event, Interrupt
 from ..web.client import HTTPClient
 from ..web.http import HTTPRequest, HTTPResponse, RequestParser, ResponseParser
-from .base import MiddlewareResponse, MiddlewareSession, split_url
+from .base import (
+    MiddlewareResponse,
+    MiddlewareSession,
+    guard_timeout,
+    split_url,
+)
 from .chtml import CHTML_CONTENT_TYPE, is_compact, to_chtml
 
 __all__ = ["IModeCenter", "IModeSession", "IMODE_PORT"]
@@ -38,21 +43,51 @@ ADAPTATION_TIME_PER_KB = 0.000_5  # tag stripping is cheap
 class IModeCenter:
     """NTT DoCoMo's packet-gateway-plus-portal, as an HTTP proxy."""
 
+    # Table 3 properties (cross-checked by the static model checker).
+    markup = "cHTML"
+    session_model = "always-on"
+    payload_limit: Optional[int] = None
+
     def __init__(self, node: Node, registry: NameRegistry,
-                 port: int = IMODE_PORT, tcp: Optional[TCPStack] = None):
+                 port: int = IMODE_PORT, tcp: Optional[TCPStack] = None,
+                 breaker=None, origin_timeout: float = 30.0):
         self.node = node
         self.sim = node.sim
         self.registry = registry
         self.port = port
         self.tcp = tcp or tcp_stack(node)
         self.http = HTTPClient(node, tcp=self.tcp)
+        self.breaker = breaker
+        self.origin_timeout = origin_timeout
         self.stats = Counter()
+        self.is_down = False
+        self._conns: list[TCPConnection] = []
         self._listener = self.tcp.listen(port)
         self.sim.spawn(self._accept_loop(), name=f"imode@{node.name}")
+
+    # -- fault hooks -------------------------------------------------------
+    def crash(self) -> None:
+        if self.is_down:
+            return
+        self.is_down = True
+        self.stats.incr("crashes")
+        for conn in self._conns:
+            conn.close()
+        self._conns.clear()
+
+    def restart(self) -> None:
+        if not self.is_down:
+            return
+        self.is_down = False
+        self.stats.incr("restarts")
 
     def _accept_loop(self):
         while True:
             conn = yield self._listener.accept()
+            if self.is_down:
+                conn.close()
+                continue
+            self._conns.append(conn)
             self.stats.incr("subscriber_sessions")
             self.sim.spawn(self._serve(conn), name="imode-session")
 
@@ -61,11 +96,19 @@ class IModeCenter:
         while True:
             chunk = yield conn.recv()
             if chunk == b"":
+                if conn in self._conns:
+                    self._conns.remove(conn)
                 return
             for request in parser.feed(chunk):
                 # conn.trace arrives as packet metadata via TCP.
                 response = yield from self._proxy(request,
                                                   parent=conn.trace)
+                if self.is_down or \
+                        conn.state not in (TCPConnection.ESTABLISHED,
+                                           TCPConnection.CLOSE_WAIT):
+                    if conn in self._conns:
+                        self._conns.remove(conn)
+                    return
                 response.headers["connection"] = "keep-alive"
                 conn.send(response.encode())
 
@@ -92,16 +135,32 @@ class IModeCenter:
             self.stats.incr("dns_failures")
             return HTTPResponse(502, {"content-type": "text/plain"},
                                 f"cannot resolve {host}")
+        if self.breaker is not None and not self.breaker.allow():
+            self.stats.incr("breaker_rejections")
+            return HTTPResponse(
+                503,
+                {"content-type": "text/plain",
+                 "retry-after": f"{self.breaker.retry_after:g}"},
+                b"centre circuit open")
         if request.method == "POST":
             upstream = yield self.http.post(origin, path, request.body,
+                                            timeout=self.origin_timeout,
                                             trace=ctx_of(span))
         else:
             upstream = yield self.http.get(origin, path,
+                                           timeout=self.origin_timeout,
                                            trace=ctx_of(span))
         if upstream is None:
             self.stats.incr("origin_timeouts")
+            if self.breaker is not None:
+                self.breaker.record_failure()
             return HTTPResponse(504, {"content-type": "text/plain"},
                                 "origin timeout")
+        if self.breaker is not None:
+            if upstream.status >= 500:
+                self.breaker.record_failure()
+            else:
+                self.breaker.record_success()
         return (yield from self._adapt(upstream, parent=span))
 
     def _adapt(self, upstream: HTTPResponse, parent=None):
@@ -124,17 +183,19 @@ class IModeCenter:
                 content_type = CHTML_CONTENT_TYPE
                 self.stats.incr("adaptations")
         end_span(self.sim, span, delivered_bytes=len(body))
-        return HTTPResponse(
-            upstream.status,
-            {"content-type": content_type},
-            body,
-        )
+        headers = {"content-type": content_type}
+        retry_after = upstream.headers.get("retry-after")
+        if retry_after is not None:
+            # Keep the origin's backpressure hint for the handset.
+            headers["retry-after"] = retry_after
+        return HTTPResponse(upstream.status, headers, body)
 
 
 class IModeSession(MiddlewareSession):
     """A subscriber's always-on connection to the i-mode centre."""
 
     middleware_name = "i-mode"
+    session_model = "always-on"
 
     def __init__(self, node: Node, center_address: IPAddress,
                  port: int = IMODE_PORT, tcp: Optional[TCPStack] = None):
@@ -159,20 +220,23 @@ class IModeSession(MiddlewareSession):
         self.stats.incr("session_establishments")
         yield self._conn.established_event
 
-    def get(self, url: str, trace=None) -> Event:
+    def get(self, url: str, trace=None,
+            timeout: Optional[float] = None) -> Event:
         request = HTTPRequest("GET", url, {"connection": "keep-alive"})
-        return self._roundtrip(request, trace=trace)
+        return self._roundtrip(request, trace=trace, timeout=timeout)
 
-    def post(self, url: str, form: dict, trace=None) -> Event:
+    def post(self, url: str, form: dict, trace=None,
+             timeout: Optional[float] = None) -> Event:
         request = HTTPRequest(
             "POST", url,
             {"connection": "keep-alive",
              "content-type": "application/x-www-form-urlencoded"},
             body=urlencode(form).encode(),
         )
-        return self._roundtrip(request, trace=trace)
+        return self._roundtrip(request, trace=trace, timeout=timeout)
 
-    def _roundtrip(self, request: HTTPRequest, trace=None) -> Event:
+    def _roundtrip(self, request: HTTPRequest, trace=None,
+                   timeout: Optional[float] = None) -> Event:
         result = self.sim.event()
         span = None
         if trace is not None:
@@ -181,8 +245,8 @@ class IModeSession(MiddlewareSession):
 
         def exchange(env):
             grant = self._mutex.request()
-            yield grant
             try:
+                yield grant
                 yield from self._ensure_connected()
                 if span is not None:
                     self._conn.trace = span.context()
@@ -195,18 +259,37 @@ class IModeSession(MiddlewareSession):
                         return
                     self._responses.extend(self._parser.feed(chunk))
                 response = self._responses.pop(0)
+                meta = {"delivered_bytes": len(response.body)}
+                retry_after = response.headers.get("retry-after")
+                if retry_after is not None:
+                    meta["retry_after"] = float(retry_after)
                 result.succeed(MiddlewareResponse(
                     status=response.status,
                     content_type=response.content_type,
                     body=response.body,
-                    meta={"delivered_bytes": len(response.body)},
+                    meta=meta,
                 ))
+            except Interrupt as exc:
+                self.stats.incr("request_timeouts")
+                self._abort()
+                if not result.triggered:
+                    result.fail(exc.cause if isinstance(exc.cause, Exception)
+                                else ConnectionError("request interrupted"))
             finally:
-                self._mutex.release(grant)
+                if grant.triggered:
+                    self._mutex.release(grant)
+                else:
+                    grant.cancel()
                 end_span(self.sim, span)
 
-        self.sim.spawn(exchange(self.sim), name="imode-get")
+        proc = self.sim.spawn(exchange(self.sim), name="imode-get")
+        guard_timeout(self.sim, result, proc, timeout, detail=request.path)
         return result
+
+    def _abort(self) -> None:
+        self.close()
+        self._parser = ResponseParser()
+        self._responses.clear()
 
     def close(self) -> None:
         if self._conn is not None:

@@ -22,7 +22,7 @@ from ..net.dns import NameRegistry
 from ..net.node import Node
 from ..net.tcp import TCPConnection, TCPStack, tcp_stack
 from ..obs import ctx_of, end_span, start_span
-from ..sim import Counter, Event, Resource
+from ..sim import Counter, Event, Interrupt, Resource
 from ..web.client import HTTPClient
 from .adaptation import extract_title, strip_tags
 from .base import (
@@ -30,6 +30,7 @@ from .base import (
     MiddlewareResponse,
     MiddlewareSession,
     encode_frame,
+    guard_timeout,
     split_url,
 )
 
@@ -45,10 +46,15 @@ CLIPPING_TIME_PER_KB = 0.001
 class WebClippingProxy:
     """The clipping server: fetch, strip, truncate, compress."""
 
+    # Table 3 properties (cross-checked by the static model checker).
+    markup = "web-clipping"
+    session_model = "request-response"
+
     def __init__(self, node: Node, registry: NameRegistry,
                  port: int = CLIPPING_PORT,
                  byte_limit: int = CLIPPING_BYTE_LIMIT,
-                 tcp: Optional[TCPStack] = None):
+                 tcp: Optional[TCPStack] = None,
+                 breaker=None, origin_timeout: float = 30.0):
         self.node = node
         self.sim = node.sim
         self.registry = registry
@@ -56,13 +62,41 @@ class WebClippingProxy:
         self.byte_limit = byte_limit
         self.tcp = tcp or tcp_stack(node)
         self.http = HTTPClient(node, tcp=self.tcp)
+        self.breaker = breaker
+        self.origin_timeout = origin_timeout
         self.stats = Counter()
+        self.is_down = False
+        self._conns: list[TCPConnection] = []
         self._listener = self.tcp.listen(port)
         self.sim.spawn(self._accept_loop(), name=f"clipper@{node.name}")
+
+    @property
+    def payload_limit(self) -> int:
+        return self.byte_limit
+
+    # -- fault hooks -------------------------------------------------------
+    def crash(self) -> None:
+        if self.is_down:
+            return
+        self.is_down = True
+        self.stats.incr("crashes")
+        for conn in self._conns:
+            conn.close()
+        self._conns.clear()
+
+    def restart(self) -> None:
+        if not self.is_down:
+            return
+        self.is_down = False
+        self.stats.incr("restarts")
 
     def _accept_loop(self):
         while True:
             conn = yield self._listener.accept()
+            if self.is_down:
+                conn.close()
+                continue
+            self._conns.append(conn)
             self.stats.incr("sessions")
             self.sim.spawn(self._serve(conn), name="clipping-session")
 
@@ -71,11 +105,19 @@ class WebClippingProxy:
         while True:
             chunk = yield conn.recv()
             if chunk == b"":
+                if conn in self._conns:
+                    self._conns.remove(conn)
                 return
             for request in reader.feed(chunk):
                 # conn.trace arrives as packet metadata via TCP.
                 reply = yield from self._handle(request,
                                                 parent=conn.trace)
+                if self.is_down or \
+                        conn.state not in (TCPConnection.ESTABLISHED,
+                                           TCPConnection.CLOSE_WAIT):
+                    if conn in self._conns:
+                        self._conns.remove(conn)
+                    return
                 conn.send(encode_frame(reply))
 
     def _handle(self, request: dict, parent=None):
@@ -102,21 +144,37 @@ class WebClippingProxy:
             self.stats.incr("dns_failures")
             return {"status": 502,
                     "body": f"cannot resolve {host}".encode(), "meta": {}}
+        if self.breaker is not None and not self.breaker.allow():
+            self.stats.incr("breaker_rejections")
+            return {"status": 503, "body": b"proxy circuit open",
+                    "meta": {"retry_after": self.breaker.retry_after}}
         if request.get("method", "GET").upper() == "POST":
             response = yield self.http.post(origin, path,
                                             request.get("body", b""),
+                                            timeout=self.origin_timeout,
                                             trace=ctx_of(span))
         else:
             response = yield self.http.get(origin, path,
+                                           timeout=self.origin_timeout,
                                            trace=ctx_of(span))
         if response is None:
             self.stats.incr("origin_timeouts")
+            if self.breaker is not None:
+                self.breaker.record_failure()
             return {"status": 504, "body": b"origin timeout", "meta": {}}
+        if self.breaker is not None:
+            if response.status >= 500:
+                self.breaker.record_failure()
+            else:
+                self.breaker.record_success()
         return (yield from self._clip(response, parent=span))
 
     def _clip(self, response, parent=None):
         body = response.body
         meta = {"origin_bytes": len(body), "clipped": False}
+        retry_after = response.headers.get("retry-after")
+        if retry_after is not None:
+            meta["retry_after"] = float(retry_after)
         if "text/html" in response.content_type:
             clip_span = None
             if parent is not None:
@@ -147,6 +205,7 @@ class PalmSession(MiddlewareSession):
     """Device-side clipping client (decompresses on arrival)."""
 
     middleware_name = "Palm Web Clipping"
+    session_model = "request-response"
 
     def __init__(self, node: Node, proxy_address: IPAddress,
                  port: int = CLIPPING_PORT, tcp: Optional[TCPStack] = None):
@@ -169,16 +228,20 @@ class PalmSession(MiddlewareSession):
         self.stats.incr("session_establishments")
         yield self._conn.established_event
 
-    def get(self, url: str, trace=None) -> Event:
-        return self._roundtrip({"method": "GET", "url": url}, trace=trace)
+    def get(self, url: str, trace=None,
+            timeout: Optional[float] = None) -> Event:
+        return self._roundtrip({"method": "GET", "url": url}, trace=trace,
+                               timeout=timeout)
 
-    def post(self, url: str, form: dict, trace=None) -> Event:
+    def post(self, url: str, form: dict, trace=None,
+             timeout: Optional[float] = None) -> Event:
         from urllib.parse import urlencode
         return self._roundtrip({"method": "POST", "url": url,
                                 "body": urlencode(form).encode()},
-                               trace=trace)
+                               trace=trace, timeout=timeout)
 
-    def _roundtrip(self, request: dict, trace=None) -> Event:
+    def _roundtrip(self, request: dict, trace=None,
+                   timeout: Optional[float] = None) -> Event:
         result = self.sim.event()
         span = None
         if trace is not None:
@@ -187,8 +250,8 @@ class PalmSession(MiddlewareSession):
 
         def exchange(env):
             grant = self._mutex.request()
-            yield grant
             try:
+                yield grant
                 yield from self._ensure_connected()
                 if span is not None:
                     self._conn.trace = span.context()
@@ -215,12 +278,28 @@ class PalmSession(MiddlewareSession):
                     body=body,
                     meta=meta,
                 ))
+            except Interrupt as exc:
+                self.stats.incr("request_timeouts")
+                self._abort()
+                if not result.triggered:
+                    result.fail(exc.cause if isinstance(exc.cause, Exception)
+                                else ConnectionError("request interrupted"))
             finally:
-                self._mutex.release(grant)
+                if grant.triggered:
+                    self._mutex.release(grant)
+                else:
+                    grant.cancel()
                 end_span(self.sim, span)
 
-        self.sim.spawn(exchange(self.sim), name="palm-get")
+        proc = self.sim.spawn(exchange(self.sim), name="palm-get")
+        guard_timeout(self.sim, result, proc, timeout,
+                      detail=request.get("url", ""))
         return result
+
+    def _abort(self) -> None:
+        self.close()
+        self._reader = FrameReader()
+        self._frames.clear()
 
     def close(self) -> None:
         if self._conn is not None:

@@ -27,7 +27,7 @@ from ..net.node import Node
 from ..net.tcp import TCPConnection, TCPStack, tcp_stack
 from ..obs import ctx_of, end_span, start_span
 from ..security.wtls import SecureChannel, SecurityError
-from ..sim import Counter, Event, RandomStream
+from ..sim import Counter, Event, Interrupt, RandomStream
 from ..web.client import HTTPClient
 from .adaptation import html_to_wml
 from .base import (
@@ -37,6 +37,7 @@ from .base import (
     decode_obj,
     encode_frame,
     encode_obj,
+    guard_timeout,
     split_url,
 )
 from .wml import WML_CONTENT_TYPE, WMLC_CONTENT_TYPE, encode_wmlc, parse_wml
@@ -51,11 +52,17 @@ TRANSLATION_TIME_PER_KB = 0.002  # HTML->WML transcoding CPU cost
 class WAPGateway:
     """The protocol translation point between wireless and wired worlds."""
 
+    # Table 3 properties (cross-checked by the static model checker).
+    markup = "WML"
+    session_model = "gateway-session"
+    payload_limit: Optional[int] = None
+
     def __init__(self, node: Node, registry: NameRegistry,
                  port: int = WSP_PORT, tcp: Optional[TCPStack] = None,
                  entropy: Optional[RandomStream] = None,
                  wtls_port: int = WTLS_PORT,
-                 cache_ttl: float = 0.0):
+                 cache_ttl: float = 0.0,
+                 breaker=None, origin_timeout: float = 30.0):
         self.node = node
         self.sim = node.sim
         self.registry = registry
@@ -63,11 +70,16 @@ class WAPGateway:
         self.tcp = tcp or tcp_stack(node)
         self.http = HTTPClient(node, tcp=self.tcp)
         self.entropy = entropy
+        # Optional CircuitBreaker guarding gateway -> origin calls.
+        self.breaker = breaker
+        self.origin_timeout = origin_timeout
         # Response cache for GETs (real gateways cached aggressively to
         # spare the air interface); 0 disables it.
         self.cache_ttl = cache_ttl
         self._cache: dict[tuple, tuple[float, dict]] = {}
         self.stats = Counter()
+        self.is_down = False
+        self._conns: list[TCPConnection] = []
         self._listener = self.tcp.listen(port)
         self.sim.spawn(self._accept_loop(), name=f"wap-gw@{node.name}")
         # WTLS: WAP's transport security layer, on its registered port.
@@ -77,15 +89,41 @@ class WAPGateway:
             self.sim.spawn(self._secure_accept_loop(),
                            name=f"wap-wtls@{node.name}")
 
+    # -- fault hooks -------------------------------------------------------
+    def crash(self) -> None:
+        """Hard-stop: every established session is severed; new sessions
+        are refused (closed immediately) until :meth:`restart`."""
+        if self.is_down:
+            return
+        self.is_down = True
+        self.stats.incr("crashes")
+        for conn in self._conns:
+            conn.close()
+        self._conns.clear()
+
+    def restart(self) -> None:
+        if not self.is_down:
+            return
+        self.is_down = False
+        self.stats.incr("restarts")
+
     def _accept_loop(self):
         while True:
             conn = yield self._listener.accept()
+            if self.is_down:
+                conn.close()
+                continue
+            self._conns.append(conn)
             self.stats.incr("wsp_sessions")
             self.sim.spawn(self._serve(conn), name="wsp-session")
 
     def _secure_accept_loop(self):
         while True:
             conn = yield self._secure_listener.accept()
+            if self.is_down:
+                conn.close()
+                continue
+            self._conns.append(conn)
             self.stats.incr("wtls_sessions")
             self.sim.spawn(self._serve_secure(conn), name="wtls-session")
 
@@ -95,17 +133,26 @@ class WAPGateway:
             yield channel.handshake_server()
         except SecurityError:
             self.stats.incr("wtls_handshake_failures")
+            self._forget(conn)
             return
         while True:
             try:
                 record = yield channel.recv()
             except SecurityError:
                 self.stats.incr("wtls_record_failures")
+                self._forget(conn)
                 return
             if record == b"":
+                self._forget(conn)
                 return
             reply = yield from self._handle(decode_obj(record),
                                             parent=conn.trace)
+            if self.is_down or \
+                    conn.state not in (TCPConnection.ESTABLISHED,
+                                       TCPConnection.CLOSE_WAIT):
+                # Crashed (or peer gone) while handling: drop the reply.
+                self._forget(conn)
+                return
             channel.send(encode_obj(reply))
 
     def _serve(self, conn: TCPConnection):
@@ -113,12 +160,22 @@ class WAPGateway:
         while True:
             chunk = yield conn.recv()
             if chunk == b"":
+                self._forget(conn)
                 return
             for request in reader.feed(chunk):
                 # conn.trace arrives as packet metadata via TCP.
                 reply = yield from self._handle(request,
                                                 parent=conn.trace)
+                if self.is_down or \
+                        conn.state not in (TCPConnection.ESTABLISHED,
+                                           TCPConnection.CLOSE_WAIT):
+                    self._forget(conn)
+                    return
                 conn.send(encode_frame(reply))
+
+    def _forget(self, conn: TCPConnection) -> None:
+        if conn in self._conns:
+            self._conns.remove(conn)
 
     def _handle(self, request: dict, parent=None):
         self.stats.incr("wsp_requests")
@@ -156,6 +213,12 @@ class WAPGateway:
             return {"status": 502, "content_type": "text/plain",
                     "body": f"cannot resolve {host}".encode(), "meta": {}}
 
+        if self.breaker is not None and not self.breaker.allow():
+            self.stats.incr("breaker_rejections")
+            return {"status": 503, "content_type": "text/plain",
+                    "body": b"gateway circuit open",
+                    "meta": {"retry_after": self.breaker.retry_after}}
+
         # Negotiate: origins that author native WML serve it directly
         # (no transcoding); others fall back to HTML for translation.
         negotiate = {"accept": f"{WML_CONTENT_TYPE}, text/html"}
@@ -163,15 +226,25 @@ class WAPGateway:
         if method == "POST":
             response = yield self.http.post(
                 origin, path, request.get("body", b""),
-                headers=negotiate, trace=ctx_of(span))
+                headers=negotiate, timeout=self.origin_timeout,
+                trace=ctx_of(span))
         else:
             response = yield self.http.get(origin, path,
                                            headers=negotiate,
+                                           timeout=self.origin_timeout,
                                            trace=ctx_of(span))
         if response is None:
             self.stats.incr("origin_timeouts")
+            if self.breaker is not None:
+                self.breaker.record_failure()
             return {"status": 504, "content_type": "text/plain",
                     "body": b"origin timeout", "meta": {}}
+        if self.breaker is not None:
+            # 5xx (including load-shed 503s) count against the origin.
+            if response.status >= 500:
+                self.breaker.record_failure()
+            else:
+                self.breaker.record_success()
 
         reply = yield from self._translate(request, response, parent=span)
         if self.cache_ttl > 0 and method == "GET" and \
@@ -188,6 +261,11 @@ class WAPGateway:
         content_type = response.content_type
         body = response.body
         meta = {"translated": False, "origin_bytes": len(body)}
+        retry_after = response.headers.get("retry-after")
+        if retry_after is not None:
+            # Backpressure hints survive translation so device-side
+            # retry policies can honour them.
+            meta["retry_after"] = float(retry_after)
         wants_binary = request.get("accept", WMLC_CONTENT_TYPE) == \
             WMLC_CONTENT_TYPE
 
@@ -223,6 +301,7 @@ class WAPSession(MiddlewareSession):
     """Device-side WSP session to a gateway."""
 
     middleware_name = "WAP"
+    session_model = "gateway-session"
 
     def __init__(self, node: Node, gateway_address: IPAddress,
                  port: Optional[int] = None,
@@ -264,19 +343,23 @@ class WAPSession(MiddlewareSession):
             yield self._channel.handshake_client()
             self.stats.incr("wtls_handshakes")
 
-    def get(self, url: str, trace=None) -> Event:
+    def get(self, url: str, trace=None,
+            timeout: Optional[float] = None) -> Event:
         return self._roundtrip({"method": "GET", "url": url,
-                                "accept": self.accept}, trace=trace)
+                                "accept": self.accept}, trace=trace,
+                               timeout=timeout)
 
-    def post(self, url: str, form: dict, trace=None) -> Event:
+    def post(self, url: str, form: dict, trace=None,
+             timeout: Optional[float] = None) -> Event:
         return self._roundtrip({
             "method": "POST",
             "url": url,
             "accept": self.accept,
             "body": urlencode(form).encode(),
-        }, trace=trace)
+        }, trace=trace, timeout=timeout)
 
-    def _roundtrip(self, request: dict, trace=None) -> Event:
+    def _roundtrip(self, request: dict, trace=None,
+                   timeout: Optional[float] = None) -> Event:
         result = self.sim.event()
         span = None
         if trace is not None:
@@ -285,8 +368,8 @@ class WAPSession(MiddlewareSession):
 
         def exchange(env):
             grant = self._mutex.request()
-            yield grant
             try:
+                yield grant
                 connect_span = None
                 if span is not None and (
                     self._conn is None
@@ -324,14 +407,33 @@ class WAPSession(MiddlewareSession):
                 ))
             except SecurityError as exc:
                 result.fail(exc)
+            except Interrupt as exc:
+                # The timeout watchdog fired: abort the session (a
+                # stale half-reply must not answer the next request).
+                self.stats.incr("request_timeouts")
+                self._abort()
+                if not result.triggered:
+                    result.fail(exc.cause if isinstance(exc.cause, Exception)
+                                else ConnectionError("request interrupted"))
             finally:
-                self._mutex.release(grant)
+                if grant.triggered:
+                    self._mutex.release(grant)
+                else:
+                    grant.cancel()
                 end_span(self.sim, span)
 
-        self.sim.spawn(exchange(self.sim), name="wap-get")
+        proc = self.sim.spawn(exchange(self.sim), name="wap-get")
+        guard_timeout(self.sim, result, proc, timeout,
+                      detail=request.get("url", ""))
         return result
+
+    def _abort(self) -> None:
+        self.close()
+        self._reader = FrameReader()
+        self._frames.clear()
 
     def close(self) -> None:
         if self._conn is not None:
             self._conn.close()
             self._conn = None
+        self._channel = None

@@ -1,0 +1,38 @@
+"""Resilience policies for the mobile commerce transaction path.
+
+The paper's first requirement — transactions completed "easily, in a
+timely manner, and ubiquitously" — has to hold over links that flap,
+gateways that crash and hosts that brown out.  This package supplies
+the classic recovery policies, each wired through the *real* path
+rather than bolted on around it:
+
+* :class:`RetryPolicy` — exponential backoff with seeded jitter and
+  per-attempt timeouts, consumed by
+  :class:`repro.core.TransactionEngine`;
+* :class:`CircuitBreaker` — open/half-open/closed guard for
+  gateway -> origin calls in all three Table 3 middlewares;
+* :class:`ResilientSession` — sticky failover across an ordered list
+  of middleware sessions (primary gateway, standby gateway,
+  direct-HTML fallback);
+* :class:`ResilienceConfig` — the knob block
+  :class:`repro.core.MCSystemBuilder` consumes to wire all of the
+  above into a built system.
+
+Everything runs on the simulation clock and seeded randomness, so a
+chaos run with policies enabled is exactly as reproducible as one
+without.
+"""
+
+from ..middleware.base import RequestTimeout
+from .breaker import CircuitBreaker, CircuitOpenError
+from .retry import RetryPolicy
+from .session import ResilienceConfig, ResilientSession
+
+__all__ = [
+    "RequestTimeout",
+    "CircuitBreaker",
+    "CircuitOpenError",
+    "RetryPolicy",
+    "ResilienceConfig",
+    "ResilientSession",
+]

@@ -1,0 +1,155 @@
+"""Graceful degradation: failover across middleware routes.
+
+A :class:`ResilientSession` presents the standard
+:class:`~repro.middleware.base.MiddlewareSession` interface over an
+ordered list of real sessions — typically ``[primary gateway session,
+standby gateway session, direct-HTML fallback]``.  Transport-level
+failures (:class:`~repro.middleware.base.RequestTimeout`,
+``ConnectionError``, WTLS :class:`~repro.security.wtls.SecurityError`)
+advance to the next route within the same request; the route that
+answers becomes sticky for subsequent requests, so a crashed gateway
+costs one failover rather than one per request.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..middleware.base import MiddlewareSession, RequestTimeout
+from ..security.wtls import SecurityError
+from ..sim import Counter, Event
+
+__all__ = ["ResilienceConfig", "ResilientSession", "FAILOVER_ERRORS"]
+
+# Failures that mean "this route is unreachable", not "the origin said
+# no": only these trigger failover (5xx statuses are the retry
+# policy's business — a different gateway reaches the same origin).
+FAILOVER_ERRORS = (RequestTimeout, ConnectionError, SecurityError)
+
+
+class ResilientSession(MiddlewareSession):
+    """Sticky-failover composite over ordered middleware sessions."""
+
+    middleware_name = "resilient"
+
+    def __init__(self, routes, timeout: Optional[float] = None):
+        if not routes:
+            raise ValueError("ResilientSession needs at least one route")
+        self.routes = list(routes)
+        self.sim = self.routes[0].sim
+        # Default per-attempt deadline applied when the caller sets
+        # none; without any deadline a dead route can only fail over
+        # once its transport gives up.
+        self.timeout = timeout
+        self.stats = Counter()
+        self._active = 0
+
+    @property
+    def active_route(self) -> MiddlewareSession:
+        return self.routes[self._active]
+
+    def get(self, url: str, trace=None,
+            timeout: Optional[float] = None) -> Event:
+        return self._call("get", url, None, trace, timeout)
+
+    def post(self, url: str, form: dict, trace=None,
+             timeout: Optional[float] = None) -> Event:
+        return self._call("post", url, form, trace, timeout)
+
+    def _call(self, method: str, url: str, form, trace,
+              timeout: Optional[float]) -> Event:
+        result = self.sim.event()
+        deadline = timeout if timeout is not None else self.timeout
+
+        def attempt_routes(env):
+            last_exc = None
+            for step in range(len(self.routes)):
+                index = (self._active + step) % len(self.routes)
+                session = self.routes[index]
+                try:
+                    if method == "get":
+                        response = yield session.get(url, trace=trace,
+                                                     timeout=deadline)
+                    else:
+                        response = yield session.post(url, form, trace=trace,
+                                                      timeout=deadline)
+                except FAILOVER_ERRORS as exc:
+                    last_exc = exc
+                    self.stats.incr("route_failures")
+                    if step < len(self.routes) - 1:
+                        self.stats.incr("failovers")
+                    continue
+                if index != self._active:
+                    self._active = index
+                    self.stats.incr("route_switches")
+                self.stats.incr("requests")
+                result.succeed(response)
+                return
+            self.stats.incr("exhausted")
+            result.fail(last_exc if last_exc is not None
+                        else ConnectionError("no middleware route available"))
+
+        self.sim.spawn(attempt_routes(self.sim), name="resilient-call")
+        return result
+
+    def close(self) -> None:
+        for session in self.routes:
+            session.close()
+
+
+@dataclass
+class ResilienceConfig:
+    """Knobs :class:`repro.core.MCSystemBuilder` wires into a system.
+
+    One config block switches on the whole policy set: per-request
+    timeouts + engine retry, gateway circuit breakers, web-server
+    admission control, a standby gateway and (optionally) direct-HTML
+    fallback.  Every default is deliberately aggressive enough for
+    chaos benchmarks to show recovery inside a few sim-minutes.
+    """
+
+    # Per-attempt request deadline (device -> middleware -> back).
+    request_timeout: float = 5.0
+    # Engine retry policy.
+    retry_attempts: int = 4
+    retry_base_delay: float = 0.25
+    retry_multiplier: float = 2.0
+    retry_max_delay: float = 4.0
+    retry_jitter: float = 0.2
+    # Gateway -> origin circuit breaker.
+    breaker_threshold: int = 4
+    breaker_recovery_time: float = 8.0
+    breaker_half_open_max: int = 2
+    # Gateway -> origin HTTP timeout (shorter than the request
+    # deadline so the breaker learns about dead origins quickly).
+    origin_timeout: float = 3.0
+    # Web-server admission control: extra queued requests tolerated on
+    # top of the busy worker pool before shedding with 503.
+    shed_backlog: int = 16
+    shed_retry_after: float = 1.0
+    # Graceful degradation.
+    standby_gateway: bool = True
+    direct_fallback: bool = True
+
+    def retry_policy(self, stream=None):
+        from .retry import RetryPolicy
+        return RetryPolicy(
+            max_attempts=self.retry_attempts,
+            base_delay=self.retry_base_delay,
+            multiplier=self.retry_multiplier,
+            max_delay=self.retry_max_delay,
+            jitter=self.retry_jitter,
+            attempt_timeout=self.request_timeout,
+            stream=stream,
+        )
+
+    def breaker(self, sim, name: str = "breaker"):
+        from .breaker import CircuitBreaker
+        return CircuitBreaker(
+            sim,
+            failure_threshold=self.breaker_threshold,
+            recovery_time=self.breaker_recovery_time,
+            half_open_max=self.breaker_half_open_max,
+            name=name,
+        )

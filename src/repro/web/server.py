@@ -66,6 +66,14 @@ class WebServer:
         self._error_bodies: dict[int, bytes] = {}
         # path prefix -> realm name (HTTP Basic auth).
         self._protected: dict[str, str] = {}
+        # Admission control (off unless enable_load_shedding is called):
+        # when the worker pool is saturated and the queue has grown past
+        # the backlog, new requests are shed with 503 + Retry-After
+        # instead of waiting unboundedly.
+        self._shed_backlog: Optional[int] = None
+        self._shed_retry_after = 1.0
+        self.is_down = False
+        self._conns: list[TCPConnection] = []
         self._listener = self.tcp.listen(port)
         self.sim.spawn(self._accept_loop(), name=f"httpd@{node.name}")
 
@@ -104,27 +112,69 @@ class WebServer:
             body = body.encode()
         self._error_bodies[status] = body
 
+    # -- resilience knobs ---------------------------------------------------
+    def enable_load_shedding(self, backlog: int = 16,
+                             retry_after: float = 1.0) -> None:
+        """Shed requests with 503 + Retry-After once ``backlog`` callers
+        are already queued behind a saturated worker pool."""
+        if backlog < 0:
+            raise ValueError(f"backlog must be >= 0, got {backlog}")
+        self._shed_backlog = backlog
+        self._shed_retry_after = retry_after
+
+    def crash(self) -> None:
+        """Hard-stop the server: drop live connections, refuse new ones."""
+        self.is_down = True
+        self.stats.incr("crashes")
+        for conn in list(self._conns):
+            conn.close()
+        self._conns.clear()
+
+    def restart(self) -> None:
+        self.is_down = False
+        self.stats.incr("restarts")
+
     # -- serving ----------------------------------------------------------
     def _accept_loop(self):
         while True:
             conn = yield self._listener.accept()
+            if self.is_down:
+                conn.close()
+                continue
             self.stats.incr("connections")
+            self._conns.append(conn)
             self.sim.spawn(self._serve_connection(conn), name="http-conn")
+
+    def _forget(self, conn: TCPConnection) -> None:
+        if conn in self._conns:
+            self._conns.remove(conn)
+
+    def _sendable(self, conn: TCPConnection) -> bool:
+        """May the serve loop still answer on this connection?
+
+        After a crash the connection was closed under us; sending on a
+        FIN_SENT/CLOSED socket raises, so responses are dropped instead.
+        """
+        return not self.is_down and conn.state in (
+            TCPConnection.ESTABLISHED, TCPConnection.CLOSE_WAIT)
 
     def _serve_connection(self, conn: TCPConnection):
         parser = RequestParser()
         while True:
             chunk = yield conn.recv()
             if chunk == b"":
+                self._forget(conn)
                 return
             try:
                 requests = parser.feed(chunk)
             except HTTPParseError:
                 self.stats.incr("parse_errors")
-                conn.send(self._finalize(HTTPResponse(
-                    400, {"content-type": "text/plain"}, b"bad request"
-                )).encode())
+                if self._sendable(conn):
+                    conn.send(self._finalize(HTTPResponse(
+                        400, {"content-type": "text/plain"}, b"bad request"
+                    )).encode())
                 conn.close()
+                self._forget(conn)
                 return
             for request in requests:
                 if self.sim.tracer is not None:
@@ -132,12 +182,34 @@ class WebServer:
                     # and was stamped on the connection by TCP; hand it
                     # to the handler as request metadata.
                     request.trace = conn.trace
-                worker = self.workers.request()
-                yield worker
-                try:
-                    response = yield from self._handle(request)
-                finally:
-                    self.workers.release(worker)
+                if (self._shed_backlog is not None
+                        and self.workers.available == 0
+                        and self.workers.queue_length >= self._shed_backlog):
+                    self.stats.incr("shed_requests")
+                    response = HTTPResponse(
+                        503,
+                        {"content-type": "text/plain",
+                         "retry-after": f"{self._shed_retry_after:g}"},
+                        b"server overloaded",
+                    )
+                else:
+                    worker = self.workers.request()
+                    try:
+                        yield worker
+                        response = yield from self._handle(request)
+                    except Interrupt:
+                        # Crash/stall injection tore this worker down.
+                        self._forget(conn)
+                        return
+                    finally:
+                        if worker.triggered:
+                            self.workers.release(worker)
+                        else:
+                            worker.cancel()
+                if not self._sendable(conn):
+                    self.stats.incr("dropped_responses")
+                    self._forget(conn)
+                    return
                 keep_alive = (
                     request.headers.get("connection", "").lower()
                     == "keep-alive"
@@ -153,6 +225,7 @@ class WebServer:
                 ))
                 if not keep_alive:
                     conn.close()
+                    self._forget(conn)
                     return
 
     def _handle(self, request: HTTPRequest):

@@ -329,3 +329,52 @@ def test_mss_respected():
     sim.spawn(client(sim))
     sim.run(until=60)
     assert sizes and max(sizes) <= 256
+
+
+def test_link_flap_mid_transfer_recovers_with_retransmissions():
+    """Repeated short outages mid-transfer: the connection survives each
+    flap via RTO + retransmission, the payload arrives intact, and the
+    stats counters show the outage happened (timeouts fired, segments
+    were retransmitted)."""
+    sim = Simulator()
+    net, a, b = build_pair(sim)
+    tcp_c = TCPStack(a)
+    tcp_s = TCPStack(b)
+    listener = tcp_s.listen(80)
+    payload = b"F" * 60_000
+    received = bytearray()
+    holder = {}
+
+    def server(env):
+        conn = yield listener.accept()
+        while len(received) < len(payload):
+            chunk = yield conn.recv()
+            if chunk == b"":
+                break
+            received.extend(chunk)
+
+    def client(env):
+        conn = tcp_c.connect(b.primary_address, 80)
+        holder["conn"] = conn
+        yield conn.established_event
+        conn.send(payload)
+
+    def flapper(env):
+        # Two flaps while segments are in flight.
+        for start, length in ((0.03, 1.0), (2.5, 0.5)):
+            yield env.timeout(max(0.0, start - env.now))
+            net.links[0].take_down()
+            yield env.timeout(length)
+            net.links[0].bring_up()
+
+    sim.spawn(server(sim))
+    sim.spawn(client(sim))
+    sim.spawn(flapper(sim))
+    sim.run(until=240)
+
+    assert bytes(received) == payload
+    conn = holder["conn"]
+    assert conn.stats.get("timeouts") >= 1, \
+        "outage must force at least one RTO"
+    assert conn.stats.get("retransmitted_segments") >= 1, \
+        "recovery must resend lost segments"
