@@ -14,6 +14,9 @@ Commands:
   printing a PASS/FAIL/INCONCLUSIVE verdict per structural claim;
 * ``chaos`` — run a named fault-injection scenario against the full
   MC system (policies on or off) and print the deterministic report;
+* ``bench`` — drive N concurrent users through the full transaction
+  path with the hot-path caches on and off, verify byte-identical
+  outputs, and write ``BENCH_PERF.json``;
 * ``tables`` — print the paper's five tables as reproduced from the
   model registries (specs only — run ``pytest benchmarks/`` for the
   measured versions);
@@ -238,6 +241,46 @@ def _cmd_chaos(args) -> int:
     return 0 if report["success_rate"] > 0 else 1
 
 
+def _cmd_bench(args) -> int:
+    import os
+
+    from repro.perf import full_bench, report_to_json
+
+    report = full_bench(users=args.users, seed=args.seed,
+                        transactions_per_user=args.transactions,
+                        horizon=args.horizon)
+    text = report_to_json(report)
+    out_dir = os.path.dirname(os.path.abspath(args.out))
+    os.makedirs(out_dir, exist_ok=True)
+    with open(args.out, "w") as handle:
+        handle.write(text + "\n")
+    if args.json:
+        print(text)
+    det = report["determinism"]
+    opt = report["optimized"]
+    summary = (
+        f"bench users={args.users} seed={args.seed}: "
+        f"{opt['measured']['wall_seconds']:.2f}s wall, "
+        f"{opt['measured']['events_per_sec']} events/s, "
+        f"{opt['measured']['transactions_per_sec']} txn/s; "
+        f"caches on/off speedup {report['speedup_caches_on_vs_off']}"
+    )
+    if "speedup_vs_pre_optimization" in report:
+        summary += (f"; vs pre-optimization baseline "
+                    f"{report['speedup_vs_pre_optimization']}x")
+    print(summary, file=sys.stderr)
+    print(f"report written to {args.out}", file=sys.stderr)
+    if not det["identical"] or \
+            not report["identical_results_caches_on_vs_off"]:
+        failed = [name for name, ok in det["checks"].items() if not ok]
+        print(f"DETERMINISM FAILURE: caches changed the results "
+              f"({', '.join(failed) or 'bench A/B'})", file=sys.stderr)
+        return 1
+    print("determinism: caches on/off byte-identical "
+          f"({', '.join(det['checks'])})", file=sys.stderr)
+    return 0
+
+
 def _cmd_tables(args) -> int:
     from repro.apps import ALL_CATEGORIES
     from repro.devices import TABLE2_DEVICES
@@ -358,6 +401,22 @@ def main(argv=None) -> int:
     chaos.add_argument("--json", default=None, metavar="PATH",
                        help="write the report JSON here instead of stdout")
     chaos.set_defaults(func=_cmd_chaos)
+
+    bench = sub.add_parser(
+        "bench", help="run the load benchmark and write BENCH_PERF.json")
+    bench.add_argument("--users", type=int, default=50,
+                       help="concurrent simulated users (default 50)")
+    bench.add_argument("--seed", type=int, default=7)
+    bench.add_argument("--transactions", type=int, default=4,
+                       help="transactions per user (default 4)")
+    bench.add_argument("--horizon", type=float, default=240.0,
+                       help="sim-seconds to run (default 240)")
+    bench.add_argument("--out", default="BENCH_PERF.json", metavar="PATH",
+                       help="where to write the report "
+                            "(default: ./BENCH_PERF.json)")
+    bench.add_argument("--json", action="store_true",
+                       help="also print the full report JSON to stdout")
+    bench.set_defaults(func=_cmd_bench)
 
     tables = sub.add_parser("tables", help="print the paper's tables")
     tables.set_defaults(func=_cmd_tables)

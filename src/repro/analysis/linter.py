@@ -99,7 +99,8 @@ def _infer_module(path: str) -> Optional[str]:
     parts: list[str] = [] if stem == "__init__" else [stem]
     while os.path.isfile(os.path.join(directory, "__init__.py")):
         directory, package = os.path.split(directory)
-        parts.insert(0, package)
+        # Walks a handful of package levels once per file, not a queue.
+        parts.insert(0, package)  # repro: noqa[hot-queue-pop]
     return ".".join(parts) if parts else None
 
 

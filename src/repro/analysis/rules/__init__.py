@@ -24,6 +24,7 @@ from .hygiene import (
 )
 from .imports import ImportCycleRule
 from .kernel import YieldEventRule
+from .perf import HotQueuePopRule
 
 __all__ = [
     "ModuleInfo",
@@ -40,4 +41,5 @@ __all__ = [
     "MutableDefaultRule",
     "ImportCycleRule",
     "YieldEventRule",
+    "HotQueuePopRule",
 ]

@@ -11,7 +11,8 @@ from __future__ import annotations
 
 import json
 import struct
-from typing import Optional
+from collections import deque
+from typing import Deque, Optional
 
 from ..net.addressing import IPAddress
 from ..net.node import Node
@@ -164,7 +165,7 @@ class DatabaseClient:
         self.tcp = tcp or tcp_stack(node)
         self._conn: Optional[TCPConnection] = None
         self._reader = MessageReader()
-        self._pending: list[dict] = []
+        self._pending: Deque[dict] = deque()
         # Serialise concurrent callers so replies match their requests.
         from ..sim import Resource
         self._mutex = Resource(self.sim, capacity=1)
@@ -209,7 +210,7 @@ class DatabaseClient:
                             {"ok": False, "error": "connection closed"})
                         return
                     self._pending.extend(self._reader.feed(chunk))
-                result.succeed(self._pending.pop(0))
+                result.succeed(self._pending.popleft())
             finally:
                 self._mutex.release(grant)
 

@@ -22,9 +22,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Optional, Union
 
+from ..opt import OPTIMIZATIONS
+
 __all__ = [
     "SQLSyntaxError",
     "parse",
+    "clear_parse_cache",
     "CreateTable",
     "CreateIndex",
     "Insert",
@@ -544,8 +547,31 @@ class _Parser:
         return ColumnRef(name=first)
 
 
+# Prepared-statement cache: SQL text -> parsed AST.  Statement nodes
+# are frozen dataclasses, so one AST can safely be shared by every
+# execution of the same query text (parameters travel separately).
+# Bounded: cleared wholesale on overflow rather than tracking LRU order,
+# which keeps the hit path to a single dict lookup.
+_PARSE_CACHE_LIMIT = 1024
+_parse_cache: dict[str, Statement] = {}
+
+
+def clear_parse_cache() -> None:
+    """Drop every cached AST (test hook; also the overflow policy)."""
+    _parse_cache.clear()
+
+
 def parse(text: str) -> Statement:
     """Parse one SQL statement into its AST."""
+    if OPTIMIZATIONS.sql_cache:
+        cached = _parse_cache.get(text)
+        if cached is not None:
+            return cached
     if not text or not text.strip():
         raise SQLSyntaxError("empty statement")
-    return _Parser(text).parse_statement()
+    statement = _Parser(text).parse_statement()
+    if OPTIMIZATIONS.sql_cache:
+        if len(_parse_cache) >= _PARSE_CACHE_LIMIT:
+            _parse_cache.clear()
+        _parse_cache[text] = statement
+    return statement

@@ -15,7 +15,9 @@ centre does cheap tag-stripping instead of full WML transcoding.
 
 from __future__ import annotations
 
-from typing import Optional
+import hashlib
+from collections import deque
+from typing import Deque, Optional
 from urllib.parse import urlencode
 
 from ..net.addressing import IPAddress
@@ -23,6 +25,7 @@ from ..net.dns import NameRegistry
 from ..net.node import Node
 from ..net.tcp import TCPConnection, TCPStack, tcp_stack
 from ..obs import ctx_of, end_span, start_span
+from ..opt import OPTIMIZATIONS
 from ..sim import Counter, Event, Interrupt
 from ..web.client import HTTPClient
 from ..web.http import HTTPRequest, HTTPResponse, RequestParser, ResponseParser
@@ -60,6 +63,13 @@ class IModeCenter:
         self.breaker = breaker
         self.origin_timeout = origin_timeout
         self.stats = Counter()
+        # Transparent cHTML adaptation cache keyed by a digest of the
+        # origin body.  Memoizes the pure is_compact / to_chtml work
+        # only — the adaptation timeout is still charged and counters
+        # still tick on hits, so the virtual timeline is unchanged.
+        # Flushed on crash and restart (cold cache after reboot).
+        self._adaptations: dict[bytes, tuple] = {}
+        self.adaptation_cache_hits = 0
         self.is_down = False
         self._conns: list[TCPConnection] = []
         self._listener = self.tcp.listen(port)
@@ -71,6 +81,7 @@ class IModeCenter:
             return
         self.is_down = True
         self.stats.incr("crashes")
+        self._adaptations.clear()
         for conn in self._conns:
             conn.close()
         self._conns.clear()
@@ -80,6 +91,7 @@ class IModeCenter:
             return
         self.is_down = False
         self.stats.incr("restarts")
+        self._adaptations.clear()
 
     def _accept_loop(self):
         while True:
@@ -171,15 +183,28 @@ class IModeCenter:
         content_type = upstream.content_type
         body = upstream.body
         if "text/html" in content_type:
-            text = body.decode("utf-8", errors="replace")
-            if is_compact(text):
+            digest = hashlib.sha1(body).digest()
+            hit = (self._adaptations.get(digest)
+                   if OPTIMIZATIONS.translation_cache else None)
+            if hit is not None:
+                self.adaptation_cache_hits += 1
+                compact, adapted = hit
+            else:
+                text = body.decode("utf-8", errors="replace")
+                compact = is_compact(text)
+                adapted = None if compact else to_chtml(text).encode()
+                if OPTIMIZATIONS.translation_cache:
+                    self._adaptations[digest] = (compact, adapted)
+            if compact:
                 content_type = CHTML_CONTENT_TYPE
                 self.stats.incr("passthrough")
             else:
+                # Adaptation CPU cost is charged on hits too: the cache
+                # saves host time, never virtual time.
                 yield self.sim.timeout(
                     ADAPTATION_TIME_PER_KB * max(1, len(body) // 1024)
                 )
-                body = to_chtml(text).encode()
+                body = adapted
                 content_type = CHTML_CONTENT_TYPE
                 self.stats.incr("adaptations")
         end_span(self.sim, span, delivered_bytes=len(body))
@@ -207,7 +232,7 @@ class IModeSession(MiddlewareSession):
         self.stats = Counter()
         self._conn: Optional[TCPConnection] = None
         self._parser = ResponseParser()
-        self._responses: list[HTTPResponse] = []
+        self._responses: Deque[HTTPResponse] = deque()
         # Serialise concurrent callers on the always-on connection.
         from ..sim import Resource
         self._mutex = Resource(self.sim, capacity=1)
@@ -258,7 +283,7 @@ class IModeSession(MiddlewareSession):
                         result.fail(ConnectionError("i-mode session closed"))
                         return
                     self._responses.extend(self._parser.feed(chunk))
-                response = self._responses.pop(0)
+                response = self._responses.popleft()
                 meta = {"delivered_bytes": len(response.body)}
                 retry_after = response.headers.get("retry-after")
                 if retry_after is not None:

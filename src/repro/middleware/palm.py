@@ -14,14 +14,17 @@ so the interoperability matrix covers it like the other two.
 
 from __future__ import annotations
 
+import hashlib
 import zlib
-from typing import Optional
+from collections import deque
+from typing import Deque, Optional
 
 from ..net.addressing import IPAddress
 from ..net.dns import NameRegistry
 from ..net.node import Node
 from ..net.tcp import TCPConnection, TCPStack, tcp_stack
 from ..obs import ctx_of, end_span, start_span
+from ..opt import OPTIMIZATIONS
 from ..sim import Counter, Event, Interrupt, Resource
 from ..web.client import HTTPClient
 from .adaptation import extract_title, strip_tags
@@ -65,6 +68,13 @@ class WebClippingProxy:
         self.breaker = breaker
         self.origin_timeout = origin_timeout
         self.stats = Counter()
+        # Transparent clipping cache keyed by a digest of the origin
+        # HTML.  Memoizes the pure strip/truncate/zlib-compress work —
+        # the clipping timeout is still charged and counters still tick
+        # on hits, so the virtual timeline is unchanged.  Flushed on
+        # crash and restart (cold cache after reboot).
+        self._clippings: dict[bytes, tuple] = {}
+        self.clipping_cache_hits = 0
         self.is_down = False
         self._conns: list[TCPConnection] = []
         self._listener = self.tcp.listen(port)
@@ -80,6 +90,7 @@ class WebClippingProxy:
             return
         self.is_down = True
         self.stats.incr("crashes")
+        self._clippings.clear()
         for conn in self._conns:
             conn.close()
         self._conns.clear()
@@ -89,6 +100,7 @@ class WebClippingProxy:
             return
         self.is_down = False
         self.stats.incr("restarts")
+        self._clippings.clear()
 
     def _accept_loop(self):
         while True:
@@ -180,20 +192,32 @@ class WebClippingProxy:
             if parent is not None:
                 clip_span = start_span(self.sim, "palm.clip", "middleware",
                                        parent=parent)
+            # Clipping CPU cost is charged whether or not the cache
+            # hits: the cache saves host time, never virtual time.
             yield self.sim.timeout(
                 CLIPPING_TIME_PER_KB * max(1, len(body) // 1024))
-            html = body.decode("utf-8", errors="replace")
-            title = extract_title(html)
-            text = strip_tags(html)
-            clipping = (f"{title}\n{text}" if title else text)
-            truncated = len(clipping.encode()) > self.byte_limit
-            raw = clipping.encode()[: self.byte_limit]
+            digest = hashlib.sha1(body).digest()
+            hit = (self._clippings.get(digest)
+                   if OPTIMIZATIONS.translation_cache else None)
+            if hit is not None:
+                self.clipping_cache_hits += 1
+                payload, raw_len, truncated = hit
+            else:
+                html = body.decode("utf-8", errors="replace")
+                title = extract_title(html)
+                text = strip_tags(html)
+                clipping = (f"{title}\n{text}" if title else text)
+                truncated = len(clipping.encode()) > self.byte_limit
+                raw = clipping.encode()[: self.byte_limit]
+                payload = zlib.compress(raw, level=9)
+                raw_len = len(raw)
+                if OPTIMIZATIONS.translation_cache:
+                    self._clippings[digest] = (payload, raw_len, truncated)
             meta.update(clipped=True, truncated=truncated)
             self.stats.incr("clippings")
-            payload = zlib.compress(raw, level=9)
             meta["compressed_bytes"] = len(payload)
-            meta["clipping_bytes"] = len(raw)
-            end_span(self.sim, clip_span, clipping_bytes=len(raw))
+            meta["clipping_bytes"] = raw_len
+            end_span(self.sim, clip_span, clipping_bytes=raw_len)
             return {"status": response.status, "body": payload,
                     "content_type": CLIPPING_CONTENT_TYPE, "meta": meta}
         # Non-HTML passes through uncompressed (rare for Palm-era use).
@@ -217,7 +241,7 @@ class PalmSession(MiddlewareSession):
         self.stats = Counter()
         self._conn: Optional[TCPConnection] = None
         self._reader = FrameReader()
-        self._frames: list[dict] = []
+        self._frames: Deque[dict] = deque()
         self._mutex = Resource(self.sim, capacity=1)
 
     def _ensure_connected(self):
@@ -264,7 +288,7 @@ class PalmSession(MiddlewareSession):
                             ConnectionError("clipping session closed"))
                         return
                     self._frames.extend(self._reader.feed(chunk))
-                frame = self._frames.pop(0)
+                frame = self._frames.popleft()
                 body = frame.get("body", b"")
                 content_type = frame.get("content_type", "text/plain")
                 meta = frame.get("meta", {})

@@ -18,7 +18,9 @@ always-on.
 
 from __future__ import annotations
 
-from typing import Optional
+import hashlib
+from collections import deque
+from typing import Deque, Optional
 from urllib.parse import urlencode
 
 from ..net.addressing import IPAddress
@@ -26,6 +28,7 @@ from ..net.dns import NameRegistry
 from ..net.node import Node
 from ..net.tcp import TCPConnection, TCPStack, tcp_stack
 from ..obs import ctx_of, end_span, start_span
+from ..opt import OPTIMIZATIONS
 from ..security.wtls import SecureChannel, SecurityError
 from ..sim import Counter, Event, Interrupt, RandomStream
 from ..web.client import HTTPClient
@@ -77,6 +80,14 @@ class WAPGateway:
         # spare the air interface); 0 disables it.
         self.cache_ttl = cache_ttl
         self._cache: dict[tuple, tuple[float, dict]] = {}
+        # Transparent WML compile cache, keyed by a digest of the origin
+        # body (plus the binary-encoding request flag).  It memoizes the
+        # pure html_to_wml / encode_wmlc work only: the translation
+        # timeout is still charged and every counter still ticks, so a
+        # hit is invisible to the virtual timeline.  Flushed on crash
+        # and restart — a rebooted gateway has a cold cache.
+        self._translations: dict[tuple, tuple] = {}
+        self.translation_cache_hits = 0
         self.stats = Counter()
         self.is_down = False
         self._conns: list[TCPConnection] = []
@@ -97,6 +108,7 @@ class WAPGateway:
             return
         self.is_down = True
         self.stats.incr("crashes")
+        self._translations.clear()
         for conn in self._conns:
             conn.close()
         self._conns.clear()
@@ -106,6 +118,7 @@ class WAPGateway:
             return
         self.is_down = False
         self.stats.incr("restarts")
+        self._translations.clear()
 
     def _accept_loop(self):
         while True:
@@ -270,23 +283,46 @@ class WAPGateway:
             WMLC_CONTENT_TYPE
 
         if "text/html" in content_type:
+            # The transcoding CPU cost is charged whether or not the
+            # compile cache hits: the cache saves host time, never
+            # virtual time (same-seed runs stay byte-identical).
             yield self.sim.timeout(
                 TRANSLATION_TIME_PER_KB * max(1, len(body) // 1024)
             )
-            document = html_to_wml(body.decode("utf-8", errors="replace"))
+            cache_key = ("html", hashlib.sha1(body).digest(), wants_binary)
+            hit = (self._translations.get(cache_key)
+                   if OPTIMIZATIONS.translation_cache else None)
+            if hit is not None:
+                self.translation_cache_hits += 1
+                body, content_type, cards = hit
+            else:
+                document = html_to_wml(body.decode("utf-8", errors="replace"))
+                cards = len(document.cards)
+                if wants_binary:
+                    body = encode_wmlc(document)
+                    content_type = WMLC_CONTENT_TYPE
+                else:
+                    body = document.to_xml().encode()
+                    content_type = WML_CONTENT_TYPE
+                if OPTIMIZATIONS.translation_cache:
+                    self._translations[cache_key] = (body, content_type, cards)
             meta["translated"] = True
-            meta["cards"] = len(document.cards)
+            meta["cards"] = cards
             self.stats.incr("translations")
             if wants_binary:
-                body = encode_wmlc(document)
-                content_type = WMLC_CONTENT_TYPE
                 self.stats.incr("wmlc_encodings")
-            else:
-                body = document.to_xml().encode()
-                content_type = WML_CONTENT_TYPE
         elif content_type == WML_CONTENT_TYPE and wants_binary:
-            document = parse_wml(body.decode())
-            body = encode_wmlc(document)
+            cache_key = ("wml", hashlib.sha1(body).digest(), True)
+            hit = (self._translations.get(cache_key)
+                   if OPTIMIZATIONS.translation_cache else None)
+            if hit is not None:
+                self.translation_cache_hits += 1
+                body = hit[0]
+            else:
+                document = parse_wml(body.decode())
+                body = encode_wmlc(document)
+                if OPTIMIZATIONS.translation_cache:
+                    self._translations[cache_key] = (body,)
             content_type = WMLC_CONTENT_TYPE
             self.stats.incr("wmlc_encodings")
 
@@ -324,7 +360,7 @@ class WAPSession(MiddlewareSession):
         self._conn: Optional[TCPConnection] = None
         self._channel: Optional[SecureChannel] = None
         self._reader = FrameReader()
-        self._frames: list[dict] = []
+        self._frames: Deque[dict] = deque()
         # One request at a time per WSP session: concurrent callers are
         # serialised so replies match their requests.
         from ..sim import Resource
@@ -398,7 +434,7 @@ class WAPSession(MiddlewareSession):
                                 ConnectionError("WSP session closed"))
                             return
                         self._frames.extend(self._reader.feed(chunk))
-                    frame = self._frames.pop(0)
+                    frame = self._frames.popleft()
                 result.succeed(MiddlewareResponse(
                     status=frame.get("status", 0),
                     content_type=frame.get("content_type", ""),

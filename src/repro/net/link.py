@@ -12,10 +12,11 @@ are reproducible.  A full transmit queue drops arriving packets
 
 from __future__ import annotations
 
+from functools import partial
 from typing import TYPE_CHECKING, Optional
 
 from ..obs import end_span, start_span
-from ..sim import Counter, RandomStream, Simulator, Store
+from ..sim import Counter, RandomStream, Simulator, Store, Timeout
 from .packet import Packet
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -74,8 +75,11 @@ class LinkEnd:
                 if self.link.frame_delivered(self, packet):
                     self.link.stats.incr("delivered")
                     self.link.stats.incr("bytes_delivered", packet.size)
-                    sim.spawn(self._propagate(packet, span),
-                              name=f"{self.link.name}-prop")
+                    # Propagation needs no process of its own: a bare
+                    # timeout with a delivery callback arrives at exactly
+                    # now + delay, without a generator spawn per packet.
+                    Timeout(sim, self.link.delay).callbacks.append(
+                        partial(self._arrive, packet, span))
                     break
                 self.link.stats.incr("frame_errors")
                 if attempts > self.link.retry_limit:
@@ -83,8 +87,7 @@ class LinkEnd:
                     end_span(sim, span, dropped="loss", attempts=attempts)
                     break
 
-    def _propagate(self, packet: Packet, span=None):
-        yield self.sim.timeout(self.link.delay)
+    def _arrive(self, packet: Packet, span, _event) -> None:
         if self.peer_iface is not None and not self.link.is_down:
             self.peer_iface.deliver(packet)
         end_span(self.sim, span)

@@ -87,6 +87,10 @@ class Node:
         self.announced_subnets: list[Subnet] = []
         self.stats = Counter()
         self.trace = Trace(enabled=False)
+        # Integer values of every owned address; kept in sync by
+        # add_interface (interfaces are never removed and an interface
+        # address never changes after construction).
+        self._owned_values: set[int] = set()
         self._handlers: dict[str, ProtocolHandler] = {}
         self._rx: Store = Store(sim)
         # Hooks that see every packet before normal processing; used by
@@ -100,6 +104,8 @@ class Node:
                       subnet: Optional[Subnet] = None) -> Interface:
         iface = Interface(self, name, address=address, subnet=subnet)
         self.interfaces.append(iface)
+        if address is not None:
+            self._owned_values.add(address.value)
         return iface
 
     def assign_address(self, address: IPAddress) -> Interface:
@@ -128,7 +134,7 @@ class Node:
         return [i.address for i in self.interfaces if i.address is not None]
 
     def owns_address(self, address: IPAddress) -> bool:
-        return address in self.addresses
+        return address.value in self._owned_values
 
     @property
     def primary_address(self) -> IPAddress:

@@ -41,10 +41,17 @@ class Route:
 
 
 class RoutingTable:
-    """Longest-prefix-match over a list of routes."""
+    """Longest-prefix-match over a list of routes.
+
+    Lookups are memoised per destination; any table mutation drops the
+    memo, so Mobile IP's mid-run host-route updates are seen instantly.
+    """
 
     def __init__(self):
         self._routes: list[Route] = []
+        # destination address value -> winning Route (or None for no
+        # route).  Purely a lookup memo: cleared on every mutation.
+        self._lookup_cache: dict[int, Optional[Route]] = {}
 
     def add(self, route: Route) -> None:
         # Replace an existing route for the identical prefix.
@@ -53,24 +60,36 @@ class RoutingTable:
         ]
         self._routes.append(route)
         self._routes.sort(key=lambda r: -r.subnet.prefix_len)
+        self._lookup_cache.clear()
 
     def remove(self, subnet: Subnet) -> bool:
         before = len(self._routes)
         self._routes = [r for r in self._routes if r.subnet != subnet]
+        self._lookup_cache.clear()
         return len(self._routes) != before
 
     def lookup(self, destination: IPAddress) -> Optional[Route]:
         """Most specific matching route, or None."""
+        value = destination.value
+        try:
+            return self._lookup_cache[value]
+        except KeyError:
+            pass
+        found = None
         for route in self._routes:  # sorted by descending prefix length
-            if route.subnet.contains(destination):
-                return route
-        return None
+            subnet = route.subnet
+            if (value & subnet.mask) == subnet.network.value:
+                found = route
+                break
+        self._lookup_cache[value] = found
+        return found
 
     def routes(self) -> list[Route]:
         return list(self._routes)
 
     def clear(self) -> None:
         self._routes.clear()
+        self._lookup_cache.clear()
 
 
 def compute_static_routes(network: "Network") -> None:

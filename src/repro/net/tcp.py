@@ -18,8 +18,9 @@ close (FIN/ACK without TIME_WAIT).
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
-from typing import Any, Optional
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Deque, Optional
 
 from ..sim import Counter, Event, Simulator, Store
 from .addressing import IPAddress
@@ -37,9 +38,10 @@ INITIAL_RTO = 1.0
 DUPACK_THRESHOLD = 3
 
 
-@dataclass
+@dataclass(slots=True)
 class TCPSegment:
-    """A TCP segment as carried in a Packet payload."""
+    """A TCP segment as carried in a Packet payload (slotted: one is
+    allocated for every data/ACK exchange on every connection)."""
 
     src_port: int
     dst_port: int
@@ -73,7 +75,7 @@ def _segment_flags(*names: str) -> frozenset:
     return frozenset(names)
 
 
-@dataclass
+@dataclass(slots=True)
 class _SendBufferEntry:
     seq: int
     data: bytes
@@ -116,7 +118,9 @@ class TCPConnection:
         self.cwnd = float(mss)    # congestion window (bytes)
         self.ssthresh = float(DEFAULT_RWND)
         self.peer_window = DEFAULT_RWND
-        self._send_queue: list[bytes] = []     # app data not yet segmented
+        # App data not yet segmented: deque, because _pump() consumes
+        # from the head chunk by chunk and list.pop(0) is O(n).
+        self._send_queue: Deque[bytes] = deque()
         self._inflight: list[_SendBufferEntry] = []
         self._dupacks = 0
         self._in_fast_recovery = False
@@ -169,21 +173,23 @@ class TCPConnection:
 
     def recv(self) -> Event:
         """Event yielding the next chunk of received bytes (b"" on FIN)."""
-        ev = self.sim.event()
-
-        def waiter(env):
-            if self._rx_buffer:
-                chunk, self._rx_buffer = self._rx_buffer, b""
-            else:
-                chunk = yield self._rx_stream.get()
+        if self._rx_buffer:
+            ev = self.sim.event()
+            chunk, self._rx_buffer = self._rx_buffer, b""
             ev.succeed(chunk)
-
-        self.sim.spawn(waiter(self.sim), name="tcp-recv")
-        return ev
+            return ev
+        # The store's get event already yields the next chunk (and keeps
+        # concurrent callers in FIFO order), so no waiter process is
+        # needed here at all.
+        return self._rx_stream.get()
 
     def recv_exactly(self, n: int) -> Event:
         """Event yielding exactly ``n`` bytes (or fewer if FIN arrives)."""
         ev = self.sim.event()
+        if len(self._rx_buffer) >= n:
+            out, self._rx_buffer = self._rx_buffer[:n], self._rx_buffer[n:]
+            ev.succeed(out)
+            return ev
 
         def waiter(env):
             while len(self._rx_buffer) < n:
@@ -323,7 +329,7 @@ class TCPConnection:
             if rest:
                 self._send_queue[0] = rest
             else:
-                self._send_queue.pop(0)
+                self._send_queue.popleft()
             entry = _SendBufferEntry(seq=self.snd_nxt, data=data,
                                      sent_at=self.sim.now)
             self._inflight.append(entry)

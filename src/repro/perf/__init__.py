@@ -1,0 +1,19 @@
+"""Performance: the load-generation benchmark and its determinism guard.
+
+``run_bench`` drives a fleet of simulated users through the full mobile
+commerce transaction path (device -> gateway middleware -> wired network
+-> web server -> database) and reports wall-clock throughput alongside a
+fully deterministic summary of what the virtual run computed.
+
+``determinism_check`` is the guard for the optimization pass: it runs
+fixed scenarios with the hot-path caches forced on and forced off and
+compares the outputs byte for byte.  See :mod:`repro.opt`.
+"""
+
+from .baseline import PRE_OPTIMIZATION_BASELINE
+from .determinism import determinism_check
+from .loadgen import bench_json, run_bench
+from .report import full_bench, report_to_json
+
+__all__ = ["run_bench", "bench_json", "determinism_check",
+           "full_bench", "report_to_json", "PRE_OPTIMIZATION_BASELINE"]

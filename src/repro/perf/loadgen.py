@@ -1,0 +1,166 @@
+"""Load generator: N concurrent users through the whole stack.
+
+The benchmark reuses the chaos runner's system wiring (builder ->
+stations -> :class:`TransactionEngine`) minus the fault plan: every user
+is a seeded shopper running ``browse_and_buy`` flows paced across the
+horizon.  The kernel's own ``events_processed`` counter supplies event
+totals (no profiler in the measured loop — its per-event hook costs
+several percent of wall time) and a :class:`~repro.obs.Tracer` records
+per-layer spans, so the report can break virtual latency down by layer.
+
+The report has two sections with different guarantees:
+
+* ``deterministic`` — everything derived from the virtual run (counts,
+  latency percentiles, per-layer seconds, kernel event totals).  Same
+  seed, same bytes; the A/B determinism check compares exactly this
+  section with the caches on and off.
+* ``measured`` — host wall-clock figures (seconds, events/sec,
+  transactions/sec).  Honest but machine-dependent, so excluded from
+  byte comparisons.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from ..apps import CommerceApp
+from ..core import MCSystemBuilder, TransactionEngine
+from ..faults.chaos import DEFAULT_DEVICE, percentile
+from ..obs import install_tracer, layer_breakdown
+from ..opt import OPTIMIZATIONS
+from ..resilience import ResilienceConfig
+
+__all__ = ["run_bench", "bench_json"]
+
+
+def run_bench(users: int = 50, seed: int = 7,
+              transactions_per_user: int = 4,
+              horizon: float = 240.0,
+              middleware: str = "WAP",
+              bearer: tuple = ("cellular", "GPRS"),
+              device: str = DEFAULT_DEVICE,
+              policies: bool = True,
+              trace: bool = True,
+              max_spans: int = 2_000_000) -> dict:
+    """Run the load scenario once and return the benchmark report dict.
+
+    ``users`` stations each run ``transactions_per_user`` purchase flows
+    spread across ``horizon`` virtual seconds.  The wall-clock section
+    measures only the ``system.run`` call — build and reporting time is
+    not counted.
+    """
+    if users < 1:
+        raise ValueError(f"users must be >= 1, got {users}")
+    if transactions_per_user < 1:
+        raise ValueError(
+            f"transactions_per_user must be >= 1, got {transactions_per_user}")
+
+    resilience = ResilienceConfig() if policies else None
+    builder = MCSystemBuilder(seed=seed, middleware=middleware,
+                              bearer=bearer, resilience=resilience)
+    system = builder.build()
+
+    shop = CommerceApp(items=[("WAP Phone", 19900, 10_000_000),
+                              ("Leather Case", 950, 10_000_000)])
+    system.mount_application(shop)
+    for index in range(users):
+        system.host.payment.open_account(f"user{index}", 100_000_000)
+
+    handles = [system.add_station(device, name=f"station-{index}")
+               for index in range(users)]
+    engine = TransactionEngine(system)
+
+    tracer = install_tracer(system.sim, max_spans=max_spans) if trace \
+        else None
+
+    think = system.seeds.stream("bench-think")
+    interval = horizon / (transactions_per_user + 1)
+
+    def shopper(handle, account):
+        def loop(env):
+            yield env.timeout(think.uniform(0.1, 0.9) * interval)
+            for _ in range(transactions_per_user):
+                started = env.now
+                flow = shop.browse_and_buy(item_id=1, account=account)
+                yield engine.run_flow(handle, flow)
+                elapsed = env.now - started
+                pause = max(0.1, interval - elapsed)
+                yield env.timeout(pause * think.uniform(0.7, 1.3))
+        return loop
+
+    for index, handle in enumerate(handles):
+        system.sim.spawn(shopper(handle, f"user{index}")(system.sim),
+                         name=f"user-{index}")
+
+    started = time.perf_counter()  # repro: noqa[wall-clock]
+    system.run(until=horizon)
+    wall_seconds = time.perf_counter() - started  # repro: noqa[wall-clock]
+
+    records = engine.completed
+    latencies = sorted(engine.latencies())
+    events = system.sim.events_processed
+
+    deterministic = {
+        "users": users,
+        "seed": seed,
+        "transactions_per_user": transactions_per_user,
+        "horizon": horizon,
+        "middleware": middleware,
+        "bearer": list(bearer),
+        "device": device,
+        "policies": bool(policies),
+        "completed": len(records),
+        "successful": len(engine.successful),
+        "success_rate": round(engine.success_rate(), 6),
+        "retries": sum(record.retries for record in records),
+        "latency": {
+            "p50": round(percentile(latencies, 0.50), 6),
+            "p95": round(percentile(latencies, 0.95), 6),
+            "max": round(latencies[-1], 6) if latencies else 0.0,
+        },
+        "kernel_events": events,
+        "virtual_seconds": round(system.sim.now, 6),
+    }
+    if tracer is not None:
+        deterministic["layers"] = _aggregate_layers(tracer)
+        deterministic["spans"] = len(tracer.spans)
+
+    report = {
+        "deterministic": deterministic,
+        "optimizations": OPTIMIZATIONS.as_dict(),
+        "measured": {
+            "wall_seconds": round(wall_seconds, 4),
+            "events_per_sec": (round(events / wall_seconds)
+                               if wall_seconds > 0 else 0),
+            "transactions_per_sec": (round(len(records) / wall_seconds, 2)
+                                     if wall_seconds > 0 else 0.0),
+        },
+    }
+    return report
+
+
+def _aggregate_layers(tracer) -> dict:
+    """Virtual seconds per layer, summed over every closed trace."""
+    by_trace: dict[int, list] = {}
+    open_traces = set()
+    for span in tracer.spans:
+        by_trace.setdefault(span.trace_id, []).append(span)
+        if span.parent_id is None and span.end is None:
+            # Flows still in flight at the horizon have open roots;
+            # layer_breakdown requires a closed root, so skip them
+            # (deterministically — openness derives from virtual time).
+            open_traces.add(span.trace_id)
+    totals: dict[str, float] = {}
+    for trace_id, spans in sorted(by_trace.items()):
+        if trace_id in open_traces:
+            continue
+        for layer, seconds in layer_breakdown(spans).items():
+            totals[layer] = totals.get(layer, 0.0) + seconds
+    return {layer: round(seconds, 6)
+            for layer, seconds in sorted(totals.items())}
+
+
+def bench_json(report: dict) -> str:
+    """Canonical serialisation: byte-identical for identical reports."""
+    return json.dumps(report, indent=2, sort_keys=True)

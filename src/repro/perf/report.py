@@ -1,0 +1,76 @@
+"""BENCH_PERF assembly: optimized run, caches-off run, determinism.
+
+``full_bench`` is what ``python -m repro bench`` executes: the load
+scenario with the caches on, the same scenario with them forced off, the
+A/B determinism verdict, and — when the scenario matches the recorded
+one — the pre-optimization baseline with a wall-clock speedup against
+it.  The result serialises to ``BENCH_PERF.json``.
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+
+from ..opt import optimizations_disabled
+from .baseline import baseline_for
+from .determinism import determinism_check
+from .loadgen import run_bench
+
+__all__ = ["full_bench", "report_to_json"]
+
+
+def full_bench(users: int = 50, seed: int = 7,
+               transactions_per_user: int = 4,
+               horizon: float = 240.0,
+               determinism_users: int = 20) -> dict:
+    """Run the benchmark both ways and assemble the BENCH_PERF report."""
+    # Warm-up pass so neither timed run pays first-touch costs
+    # (imports, code objects, allocator growth), then collect between
+    # runs so the second is not timed under the first one's garbage.
+    run_bench(users=min(users, 20), seed=seed,
+              transactions_per_user=transactions_per_user,
+              horizon=min(horizon, 60.0))
+    gc.collect()
+    optimized = run_bench(users=users, seed=seed,
+                          transactions_per_user=transactions_per_user,
+                          horizon=horizon)
+    gc.collect()
+    with optimizations_disabled():
+        caches_off = run_bench(users=users, seed=seed,
+                               transactions_per_user=transactions_per_user,
+                               horizon=horizon)
+    gc.collect()
+    same_results = (
+        json.dumps(optimized["deterministic"], sort_keys=True)
+        == json.dumps(caches_off["deterministic"], sort_keys=True))
+    determinism = determinism_check(users=min(users, determinism_users),
+                                    seed=seed)
+
+    off_wall = caches_off["measured"]["wall_seconds"]
+    opt_wall = optimized["measured"]["wall_seconds"]
+    report = {
+        "scenario": {
+            "users": users,
+            "seed": seed,
+            "transactions_per_user": transactions_per_user,
+            "horizon": horizon,
+        },
+        "optimized": optimized,
+        "caches_off": caches_off,
+        "speedup_caches_on_vs_off": (round(off_wall / opt_wall, 3)
+                                     if opt_wall > 0 else None),
+        "determinism": determinism,
+        "identical_results_caches_on_vs_off": same_results,
+    }
+    baseline = baseline_for(users, seed, transactions_per_user, horizon)
+    if baseline is not None:
+        report["pre_optimization_baseline"] = baseline
+        if opt_wall > 0:
+            report["speedup_vs_pre_optimization"] = round(
+                baseline["wall_seconds"] / opt_wall, 3)
+    return report
+
+
+def report_to_json(report: dict) -> str:
+    return json.dumps(report, indent=2, sort_keys=True)

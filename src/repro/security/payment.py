@@ -20,8 +20,6 @@ from .crypto import mac, verify_mac
 
 __all__ = ["PaymentError", "PaymentOrder", "Authorization", "PaymentProcessor"]
 
-_auth_ids = itertools.count(1)
-
 
 class PaymentError(Exception):
     """Declined, replayed, tampered or malformed payment."""
@@ -72,6 +70,11 @@ class PaymentProcessor:
         self.merchant_keys: dict[str, bytes] = {}
         self.authorizations: dict[int, Authorization] = {}
         self._seen_nonces: set[str] = set()
+        # Processor-local counter: a module-level one made auth ids (which
+        # ride in SQL params and confirmation pages, hence packet sizes)
+        # depend on how many runs came earlier in the process, breaking
+        # run-to-run determinism.
+        self._auth_ids = itertools.count(1)
         self.stats = Counter()
 
     # -- setup -----------------------------------------------------------
@@ -119,7 +122,7 @@ class PaymentProcessor:
             raise PaymentError("insufficient funds")
         self._seen_nonces.add(order.nonce)
         authorization = Authorization(
-            auth_id=next(_auth_ids),
+            auth_id=next(self._auth_ids),
             account=order.account,
             merchant=order.merchant,
             amount_cents=order.amount_cents,

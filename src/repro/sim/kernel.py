@@ -63,7 +63,16 @@ class Event:
     An event starts *pending*, may be *triggered* with a value (success)
     or *failed* with an exception, and once processed resumes every
     process that was waiting on it.
+
+    ``__slots__`` matters here: events are the single most-allocated
+    object in any run (every timeout, packet delivery and process wakeup
+    is one), and dropping the per-instance ``__dict__`` is a measurable
+    slice of total wall-clock.  Subclasses outside the kernel that need
+    ad-hoc attributes (e.g. :class:`repro.sim.resources.Request` with
+    its priority tag) simply omit ``__slots__`` and regain a dict.
     """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_state", "_order")
 
     PENDING = "pending"
     TRIGGERED = "triggered"
@@ -129,18 +138,37 @@ class Event:
         return f"<{type(self).__name__} {self._state} at t={self.sim.now}>"
 
 
+# Module-level alias so the run() hot loop marks events processed
+# without re-resolving the class attribute per event.
+_PROCESSED = Event.PROCESSED
+
+
 class Timeout(Event):
-    """An event that fires after a fixed virtual-time delay."""
+    """An event that fires after a fixed virtual-time delay.
+
+    The constructor is the kernel's hottest allocation site, so it
+    writes every slot exactly once instead of chaining through
+    ``Event.__init__`` (which would first write the pending defaults
+    only for them to be overwritten) and inlines the schedule push.
+    The observable behaviour — heap entry layout, sequence numbering,
+    processing order — is identical to the generic path.
+    """
+
+    __slots__ = ("delay",)
 
     def __init__(self, sim: "Simulator", delay: float, value: Any = None):
         if delay < 0:
             raise ValueError(f"negative timeout delay: {delay}")
-        super().__init__(sim)
-        self.delay = float(delay)
+        self.sim = sim
+        self.callbacks = []
+        delay = float(delay)
+        self.delay = delay
         self._ok = True
         self._value = value
         self._state = Event.TRIGGERED
-        sim._schedule(self, delay=self.delay)
+        self._order = None
+        heapq.heappush(sim._queue,
+                       (sim.now + delay, 1, next(sim._seq), self))
 
 
 class Process(Event):
@@ -150,6 +178,8 @@ class Process(Event):
     succeeds, the event's value is sent back into the generator; when it
     fails, the exception is thrown into the generator.
     """
+
+    __slots__ = ("generator", "name", "_target")
 
     def __init__(self, sim: "Simulator", generator: Generator, name: str = ""):
         super().__init__(sim)
@@ -242,6 +272,8 @@ class Process(Event):
 class _Condition(Event):
     """Base for AllOf/AnyOf composite events."""
 
+    __slots__ = ("events", "_pending")
+
     def __init__(self, sim: "Simulator", events: Iterable[Event]):
         super().__init__(sim)
         self.events = list(events)
@@ -284,6 +316,8 @@ def _first_fired(events: list[Event]) -> Event:
 class AllOf(_Condition):
     """Fires when every child event has fired; value maps event -> value."""
 
+    __slots__ = ()
+
     def _check_immediate(self) -> bool:
         # A child that already failed-and-processed must fail the
         # composite immediately — succeeding with a partial value dict
@@ -310,6 +344,8 @@ class AllOf(_Condition):
 
 class AnyOf(_Condition):
     """Fires when the first child event fires; value maps event -> value."""
+
+    __slots__ = ()
 
     def _check_immediate(self) -> bool:
         done = [ev for ev in self.events if ev.processed]
@@ -357,7 +393,10 @@ class Simulator:
         # path costs one attribute check.
         self.tracer: Any = None
         self._profiler: Any = None
-        self._order = itertools.count()
+        # Number of events processed so far; doubles as the processing
+        # index stamped onto each event (a plain int so callers can read
+        # it without a profiler installed).
+        self.events_processed: int = 0
 
     # -- factories ---------------------------------------------------------
     def event(self) -> Event:
@@ -397,7 +436,8 @@ class Simulator:
         if time < self.now:
             raise SimulationError("time went backwards")
         self.now = time
-        event._order = next(self._order)
+        event._order = self.events_processed
+        self.events_processed += 1
         if self._profiler is not None:
             self._profiler.on_event(self.now, event, len(self._queue))
         callbacks, event.callbacks = event.callbacks, []
@@ -406,13 +446,37 @@ class Simulator:
             callback(event)
 
     def run(self, until: Optional[float] = None) -> None:
-        """Run until the schedule drains or ``until`` is reached."""
+        """Run until the schedule drains or ``until`` is reached.
+
+        The loop body is :meth:`step` inlined by hand: with hundreds of
+        thousands of timeout/delivery events per benchmark run, the
+        per-event method dispatch and repeated attribute lookups are a
+        real cost.  Locals are rebound and the heap is popped directly;
+        the sequence of state changes (time check, ``now`` advance,
+        order stamp, profiler hook, callback drain) is exactly
+        :meth:`step`'s, so single-stepping and running are
+        indistinguishable to everything above the kernel.
+        """
         if until is not None and until < self.now:
             raise SimulationError(f"until={until} is in the past (now={self.now})")
-        while self._queue:
-            if until is not None and self._queue[0][0] > until:
+        queue = self._queue
+        heappop = heapq.heappop
+        while queue:
+            if until is not None and queue[0][0] > until:
                 self.now = until
                 return
-            self.step()
+            time, _, _, event = heappop(queue)
+            if time < self.now:
+                raise SimulationError("time went backwards")
+            self.now = time
+            event._order = self.events_processed
+            self.events_processed += 1
+            if self._profiler is not None:
+                self._profiler.on_event(time, event, len(queue))
+            callbacks = event.callbacks
+            event.callbacks = []
+            event._state = _PROCESSED
+            for callback in callbacks:
+                callback(event)
         if until is not None:
             self.now = until

@@ -50,7 +50,10 @@ class Resource:
         self.sim = sim
         self.capacity = capacity
         self.in_use = 0
-        self._waiting: list[Request] = []
+        # Deque so the FIFO grant in release() is O(1); cancel() still
+        # removes from the middle (deque.remove raises ValueError like
+        # list.remove, which cancel() already expects).
+        self._waiting: Deque[Request] = deque()
 
     @property
     def available(self) -> int:
@@ -75,7 +78,7 @@ class Resource:
         if self.in_use <= 0:
             raise SimulationError("release() with nothing in use")
         if self._waiting:
-            nxt = self._waiting.pop(0)
+            nxt = self._waiting.popleft()
             nxt.succeed(self)
         else:
             self.in_use -= 1
@@ -102,10 +105,14 @@ class PriorityResource(Resource):
             req.succeed(self)
         else:
             self._waiting.append(req)
-            self._waiting.sort(
+            # Deques have no sort(); rebuild.  The queue is short (it
+            # only holds waiters beyond capacity) and sorted() is stable,
+            # so the (priority, arrival-seq) order is preserved exactly.
+            self._waiting = deque(sorted(
+                self._waiting,
                 key=lambda r: (getattr(r, "priority", 10),
-                               getattr(r, "_seq", 0))
-            )
+                               getattr(r, "_seq", 0)),
+            ))
         return req
 
 

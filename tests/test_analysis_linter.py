@@ -311,6 +311,45 @@ def test_import_cycle_suppressed():
     assert report.suppressed == 1
 
 
+# -- hot-queue-pop -----------------------------------------------------------
+
+def test_hot_queue_pop_detects_front_of_list_ops():
+    report = run_rule("hot-queue-pop", """\
+        def drain(queue):
+            head = queue.pop(0)
+            queue.insert(0, head)
+            return head
+    """, module="repro.net.fixture")
+    assert [f.line for f in report.findings] == [2, 3]
+    assert all(f.rule_id == "hot-queue-pop" for f in report.findings)
+
+
+def test_hot_queue_pop_allows_tail_ops_and_foreign_modules():
+    clean = run_rule("hot-queue-pop", """\
+        def drain(queue, table):
+            last = queue.pop()
+            removed = table.pop("key")
+            queue.insert(2, last)
+            return queue.popleft()
+    """, module="repro.net.fixture")
+    assert clean.findings == []
+    # Outside the repro package the idiom is not our business.
+    foreign = run_rule("hot-queue-pop", """\
+        def drain(queue):
+            return queue.pop(0)
+    """, module="thirdparty.queue")
+    assert foreign.findings == []
+
+
+def test_hot_queue_pop_suppressed():
+    report = run_rule("hot-queue-pop", """\
+        def reorder(parts, package):
+            parts.insert(0, package)  # repro: noqa[hot-queue-pop]
+    """, module="repro.analysis.fixture")
+    assert report.findings == []
+    assert report.suppressed == 1
+
+
 # -- catalogue, suppression syntax, report plumbing ---------------------------
 
 def test_catalogue_has_at_least_eight_rules():
@@ -318,6 +357,7 @@ def test_catalogue_has_at_least_eight_rules():
     assert set(RULE_REGISTRY) >= {
         "wall-clock", "module-random", "yield-event", "bare-except",
         "broad-except", "mutable-default", "export-drift", "import-cycle",
+        "hot-queue-pop",
     }
 
 
