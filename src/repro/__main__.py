@@ -15,8 +15,9 @@ Commands:
 * ``chaos`` — run a named fault-injection scenario against the full
   MC system (policies on or off) and print the deterministic report;
 * ``bench`` — drive N concurrent users through the full transaction
-  path with the hot-path caches on and off, verify byte-identical
-  outputs, and write ``BENCH_PERF.json``;
+  path with the hot-path caches on and off and the kernel scheduler
+  A/B'd heap-vs-calendar, verify byte-identical outputs, optionally
+  sweep a goodput-vs-offered-load curve, and write ``BENCH_PERF.json``;
 * ``tables`` — print the paper's five tables as reproduced from the
   model registries (specs only — run ``pytest benchmarks/`` for the
   measured versions);
@@ -246,9 +247,19 @@ def _cmd_bench(args) -> int:
 
     from repro.perf import full_bench, report_to_json
 
+    sweep = None
+    if args.sweep:
+        try:
+            sweep = [int(part) for part in args.sweep.split(",") if part]
+        except ValueError:
+            print(f"--sweep expects comma-separated user counts, "
+                  f"got {args.sweep!r}", file=sys.stderr)
+            return 2
     report = full_bench(users=args.users, seed=args.seed,
                         transactions_per_user=args.transactions,
-                        horizon=args.horizon)
+                        horizon=args.horizon,
+                        scheduler=args.scheduler,
+                        sweep=sweep)
     text = report_to_json(report)
     out_dir = os.path.dirname(os.path.abspath(args.out))
     os.makedirs(out_dir, exist_ok=True)
@@ -257,9 +268,11 @@ def _cmd_bench(args) -> int:
     if args.json:
         print(text)
     det = report["determinism"]
+    sched = report["scheduler_determinism"]
     opt = report["optimized"]
     summary = (
-        f"bench users={args.users} seed={args.seed}: "
+        f"bench users={args.users} seed={args.seed} "
+        f"scheduler={opt['scheduler']}: "
         f"{opt['measured']['wall_seconds']:.2f}s wall, "
         f"{opt['measured']['events_per_sec']} events/s, "
         f"{opt['measured']['transactions_per_sec']} txn/s; "
@@ -268,16 +281,35 @@ def _cmd_bench(args) -> int:
     if "speedup_vs_pre_optimization" in report:
         summary += (f"; vs pre-optimization baseline "
                     f"{report['speedup_vs_pre_optimization']}x")
+    if "speedup_vs_pre_calendar" in report:
+        summary += (f"; vs pre-calendar baseline "
+                    f"{report['speedup_vs_pre_calendar']}x")
     print(summary, file=sys.stderr)
+    if sweep is not None:
+        for point in report["sweep"]["deterministic"]["points"]:
+            print(f"  sweep users={point['users']:4d}: "
+                  f"offered {point['offered_tps']:.3f} tx/s, "
+                  f"goodput {point['goodput_tps']:.3f} tx/s, "
+                  f"p95 {point['latency_p95']:.3f}s", file=sys.stderr)
     print(f"report written to {args.out}", file=sys.stderr)
+    failures = []
     if not det["identical"] or \
             not report["identical_results_caches_on_vs_off"]:
         failed = [name for name, ok in det["checks"].items() if not ok]
-        print(f"DETERMINISM FAILURE: caches changed the results "
-              f"({', '.join(failed) or 'bench A/B'})", file=sys.stderr)
+        failures.append(f"caches changed the results "
+                        f"({', '.join(failed) or 'bench A/B'})")
+    if not sched["identical"]:
+        failed = [name for name, ok in sched["checks"].items() if not ok]
+        failures.append(f"schedulers diverged ({', '.join(failed)})")
+    if failures:
+        for failure in failures:
+            print(f"DETERMINISM FAILURE: {failure}", file=sys.stderr)
         return 1
     print("determinism: caches on/off byte-identical "
           f"({', '.join(det['checks'])})", file=sys.stderr)
+    print("determinism: schedulers "
+          f"{'/'.join(sched['schedulers'])} byte-identical "
+          f"({', '.join(sched['checks'])})", file=sys.stderr)
     return 0
 
 
@@ -411,6 +443,14 @@ def main(argv=None) -> int:
                        help="transactions per user (default 4)")
     bench.add_argument("--horizon", type=float, default=240.0,
                        help="sim-seconds to run (default 240)")
+    bench.add_argument("--scheduler", default=None,
+                       choices=["heap", "calendar"],
+                       help="kernel scheduler for the timed runs "
+                            "(default: calendar; the A/B guard always "
+                            "exercises both)")
+    bench.add_argument("--sweep", default=None, metavar="N,N,...",
+                       help="also run a goodput-vs-offered-load sweep "
+                            "at these user counts (e.g. 50,100,200,500)")
     bench.add_argument("--out", default="BENCH_PERF.json", metavar="PATH",
                        help="where to write the report "
                             "(default: ./BENCH_PERF.json)")

@@ -14,7 +14,7 @@ from typing import Iterator
 from ..findings import Finding, SEVERITY_WARNING
 from .base import ModuleInfo, Rule, register_rule
 
-__all__ = ["HotQueuePopRule"]
+__all__ = ["HotQueuePopRule", "DirectHeapqRule"]
 
 
 def _is_zero(node: ast.AST) -> bool:
@@ -57,3 +57,47 @@ class HotQueuePopRule(Rule):
                     "insert(0, ...) shifts the whole list on every call; "
                     "use collections.deque and appendleft()",
                 )
+
+
+@register_rule
+class DirectHeapqRule(Rule):
+    """No direct ``heapq`` use outside :mod:`repro.sim.sched`.
+
+    The kernel's event ordering is owned by the pluggable scheduler
+    (``repro.sim.sched``); a stray ``heapq`` priority queue elsewhere
+    tends to become a shadow event queue whose ordering the scheduler
+    A/B determinism guard cannot see.  Algorithmic uses that are *not*
+    event scheduling (e.g. Dijkstra's frontier in the routing table)
+    suppress with ``# repro: noqa[direct-heapq]`` and a justification.
+    """
+
+    rule_id = "direct-heapq"
+    severity = SEVERITY_WARNING
+    description = ("direct heapq use outside repro.sim.sched; go through "
+                   "the scheduler abstraction")
+
+    SANCTIONED = "repro.sim.sched"
+
+    def check_module(self, info: ModuleInfo) -> Iterator[Finding]:
+        if not info.in_package("repro") or info.module == self.SANCTIONED:
+            return
+        for node in ast.walk(info.tree):
+            if isinstance(node, ast.Import):
+                names = [alias.name for alias in node.names]
+                if any(name == "heapq" or name.startswith("heapq.")
+                       for name in names):
+                    yield self.finding(
+                        info, node.lineno,
+                        "import heapq outside repro.sim.sched; event "
+                        "ordering belongs to the scheduler abstraction",
+                    )
+            elif isinstance(node, ast.ImportFrom):
+                if node.level == 0 and node.module is not None and \
+                        (node.module == "heapq"
+                         or node.module.startswith("heapq.")):
+                    yield self.finding(
+                        info, node.lineno,
+                        "from heapq import ... outside repro.sim.sched; "
+                        "event ordering belongs to the scheduler "
+                        "abstraction",
+                    )

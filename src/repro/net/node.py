@@ -81,6 +81,8 @@ class Node:
         self.name = name
         self.forwarding = forwarding
         self.interfaces: list[Interface] = []
+        self._iface_by_name: dict[str, Interface] = {}
+        self._primary_address: Optional[IPAddress] = None
         self.routing_table = RoutingTable()
         # Stub subnets this node claims reachability for (e.g. an access
         # point's wireless subnet); propagated by compute_static_routes.
@@ -104,8 +106,13 @@ class Node:
                       subnet: Optional[Subnet] = None) -> Interface:
         iface = Interface(self, name, address=address, subnet=subnet)
         self.interfaces.append(iface)
+        self._iface_by_name[name] = iface
         if address is not None:
             self._owned_values.add(address.value)
+            # Interfaces are append-only and addresses immutable, so the
+            # first address to arrive is the primary one forever.
+            if self._primary_address is None:
+                self._primary_address = address
         return iface
 
     def assign_address(self, address: IPAddress) -> Interface:
@@ -120,10 +127,11 @@ class Node:
         return iface
 
     def iface(self, name: str) -> Interface:
-        for iface in self.interfaces:
-            if iface.name == name:
-                return iface
-        raise KeyError(f"no interface {name!r} on node {self.name}")
+        try:
+            return self._iface_by_name[name]
+        except KeyError:
+            raise KeyError(
+                f"no interface {name!r} on node {self.name}") from None
 
     def register_protocol(self, proto: str, handler: ProtocolHandler) -> None:
         """Install the upper-layer handler for a protocol tag."""
@@ -138,10 +146,10 @@ class Node:
 
     @property
     def primary_address(self) -> IPAddress:
-        for iface in self.interfaces:
-            if iface.address is not None:
-                return iface.address
-        raise RuntimeError(f"node {self.name} has no address")
+        address = self._primary_address
+        if address is None:
+            raise RuntimeError(f"node {self.name} has no address")
+        return address
 
     # -- data path -----------------------------------------------------------
     def enqueue_rx(self, packet: Packet, iface: Interface) -> None:
@@ -154,8 +162,9 @@ class Node:
 
     def _receive(self, packet: Packet, iface: Interface) -> None:
         packet.record_hop(self.name)
-        self.trace.log(self.sim.now, "rx", node=self.name,
-                       pkt=packet.packet_id, proto=packet.proto)
+        if self.trace.enabled:
+            self.trace.log(self.sim.now, "rx", node=self.name,
+                           pkt=packet.packet_id, proto=packet.proto)
         for tap in list(self.rx_taps):
             if tap(packet, iface):
                 return
@@ -203,9 +212,10 @@ class Node:
         if route is None:
             self.stats.incr("no_route_drops")
             return False
-        iface = self.iface(route.iface_name)
-        self.trace.log(self.sim.now, "tx", node=self.name,
-                       pkt=packet.packet_id, via=iface.name)
+        iface = self._iface_by_name[route.iface_name]
+        if self.trace.enabled:
+            self.trace.log(self.sim.now, "tx", node=self.name,
+                           pkt=packet.packet_id, via=iface.name)
         ok = iface.send(packet)
         if ok:
             self.stats.incr("forwarded")

@@ -10,7 +10,8 @@ real stacks do.
 
 from __future__ import annotations
 
-import heapq
+# Dijkstra's frontier, not an event queue.
+import heapq  # repro: noqa[direct-heapq]
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional
 

@@ -22,7 +22,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Any, Deque, Optional
 
-from ..sim import Counter, Event, Simulator, Store
+from ..sim import Counter, Event, Simulator, Store, Timeout
 from .addressing import IPAddress
 from .node import Node
 from .packet import PROTO_TCP, Packet
@@ -73,6 +73,11 @@ class TCPSegment:
 
 def _segment_flags(*names: str) -> frozenset:
     return frozenset(names)
+
+
+# Hot-path constant: _emit ORs this in per segment; building the
+# frozenset each time is measurable at load-test scale.
+_ACK_FLAGS = frozenset(("ACK",))
 
 
 @dataclass(slots=True)
@@ -142,8 +147,16 @@ class TCPConnection:
         self.srtt: Optional[float] = None
         self.rttvar = 0.0
         self.rto = INITIAL_RTO
-        self._timer_epoch = 0
-        self._timer_running = False
+        # The retransmission timer is a bare kernel Timeout with a
+        # callback, not a spawned process: arming is one allocation,
+        # and cancellation tombstones the queue entry so a cancelled
+        # timer never wakes anything (see Timeout.cancel).  ACK-driven
+        # rearm/cancel is the common case — almost every timer dies.
+        self._timer: Optional[Timeout] = None
+        # True retransmission deadline and the pending timer's actual
+        # fire time; they diverge when arms lazily extend the deadline.
+        self._rto_deadline = 0.0
+        self._timer_fires_at = 0.0
 
         # --- lifecycle events --------------------------------------------------
         self.established_event: Event = self.sim.event()
@@ -252,7 +265,7 @@ class TCPConnection:
             dst_port=self.remote_port,
             seq=self.snd_nxt if seq is None else seq,
             ack=self.rcv_nxt,
-            flags=flags | _segment_flags("ACK") if self.state not in (
+            flags=flags | _ACK_FLAGS if self.state not in (
                 TCPConnection.SYN_SENT,) else flags,
             data=data,
             window=DEFAULT_RWND,
@@ -439,21 +452,47 @@ class TCPConnection:
         self.rto = min(MAX_RTO, max(MIN_RTO, self.srtt + 4 * self.rttvar))
 
     def _arm_timer(self) -> None:
-        self._timer_epoch += 1
-        epoch = self._timer_epoch
-        self._timer_running = True
-
-        def timer(env):
-            yield env.timeout(self.rto)
-            if epoch != self._timer_epoch or not self._timer_running:
+        # Lazy re-arm: almost every arm call merely *extends* the
+        # deadline (each ACK restarts the clock), so instead of
+        # cancelling and reallocating a kernel Timeout per segment we
+        # record the true deadline and keep any pending timer that fires
+        # no later than it.  An early fire re-checks the deadline in
+        # _on_timer and re-arms once for the remainder — the retransmit
+        # still happens at exactly ``now + rto`` virtual seconds.
+        deadline = self.sim.now + self.rto
+        self._rto_deadline = deadline
+        if self._timer is not None:
+            if self._timer_fires_at <= deadline:
                 return
-            self._on_rto()
-
-        self.sim.spawn(timer(self.sim), name="tcp-rto")
+            # The deadline moved *earlier* (RTO shrank after an RTT
+            # update); a late fire would delay the retransmit, so this
+            # rare case really does replace the timer.
+            self._timer.cancel()
+        timer = Timeout(self.sim, self.rto)
+        timer.callbacks.append(self._on_timer)
+        self._timer = timer
+        self._timer_fires_at = deadline
 
     def _cancel_timer(self) -> None:
-        self._timer_running = False
-        self._timer_epoch += 1
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    def _on_timer(self, event: Timeout) -> None:
+        if event is not self._timer:
+            return  # stale fire; a rearm superseded this timer
+        self._timer = None
+        deadline = self._rto_deadline
+        now = self.sim.now
+        if now < deadline:
+            # The deadline was pushed out while this timer was pending;
+            # sleep the remainder instead of retransmitting early.
+            timer = Timeout(self.sim, deadline - now)
+            timer.callbacks.append(self._on_timer)
+            self._timer = timer
+            self._timer_fires_at = deadline
+            return
+        self._on_rto()
 
     def _on_rto(self) -> None:
         """Retransmission timeout: collapse the window, resend, back off."""

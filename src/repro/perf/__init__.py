@@ -1,19 +1,31 @@
-"""Performance: the load-generation benchmark and its determinism guard.
+"""Performance: the load-generation benchmark and its determinism guards.
 
 ``run_bench`` drives a fleet of simulated users through the full mobile
 commerce transaction path (device -> gateway middleware -> wired network
 -> web server -> database) and reports wall-clock throughput alongside a
 fully deterministic summary of what the virtual run computed.
+``sweep_bench`` repeats it across user counts to draw the
+goodput-vs-offered-load curve.
 
 ``determinism_check`` is the guard for the optimization pass: it runs
 fixed scenarios with the hot-path caches forced on and forced off and
-compares the outputs byte for byte.  See :mod:`repro.opt`.
+compares the outputs byte for byte.  ``scheduler_check`` applies the
+same discipline to the pluggable kernel scheduler (heap vs calendar
+queue).  See :mod:`repro.opt` and :mod:`repro.sim.sched`.
 """
 
-from .baseline import PRE_OPTIMIZATION_BASELINE
-from .determinism import determinism_check
-from .loadgen import bench_json, run_bench
+from .baseline import (
+    BASELINES,
+    PRE_CALENDAR_BASELINE,
+    PRE_OPTIMIZATION_BASELINE,
+    baseline_for,
+    baselines_for,
+)
+from .determinism import determinism_check, scheduler_check
+from .loadgen import bench_json, run_bench, sweep_bench
 from .report import full_bench, report_to_json
 
-__all__ = ["run_bench", "bench_json", "determinism_check",
-           "full_bench", "report_to_json", "PRE_OPTIMIZATION_BASELINE"]
+__all__ = ["run_bench", "sweep_bench", "bench_json", "determinism_check",
+           "scheduler_check", "full_bench", "report_to_json",
+           "PRE_OPTIMIZATION_BASELINE", "PRE_CALENDAR_BASELINE",
+           "BASELINES", "baseline_for", "baselines_for"]

@@ -1,12 +1,19 @@
-"""The A/B determinism guard for the hot-path caches.
+"""A/B determinism guards: hot-path caches, and kernel schedulers.
 
 Every optimization behind :data:`repro.opt.OPTIMIZATIONS` claims to be
 *transparent*: toggling it changes host CPU time, never what the
-simulation computes.  This module holds the claim to account — it runs
-fixed scenarios twice, once with every cache forced on and once forced
-off, and compares the canonical JSON output byte for byte.
+simulation computes.  :func:`determinism_check` holds the claim to
+account — it runs fixed scenarios twice, once with every flag forced on
+and once forced off, and compares the canonical JSON output byte for
+byte.
 
-Three comparisons cover the cache surfaces:
+:func:`scheduler_check` applies the same discipline to the pluggable
+event scheduler: the calendar queue claims to reproduce the heap's
+``(time, priority, seq)`` total order exactly, so running the same
+scenarios under ``--scheduler heap`` and ``--scheduler calendar`` must
+produce byte-identical deterministic sections.
+
+Three comparisons cover the surfaces in both guards:
 
 * a chaos run through the ``gateway-outage`` scenario (gateway
   translation caches plus their crash/restart flush),
@@ -21,9 +28,10 @@ import json
 
 from ..faults.chaos import report_json, run_chaos
 from ..opt import OPTIMIZATIONS, optimizations_disabled
+from ..sim import SCHEDULERS, scheduler_override
 from .loadgen import run_bench
 
-__all__ = ["determinism_check"]
+__all__ = ["determinism_check", "scheduler_check"]
 
 
 def _bench_bytes(users: int, seed: int) -> str:
@@ -39,18 +47,23 @@ def _chaos_bytes(scenario: str, seed: int) -> str:
                                  horizon=120.0))
 
 
+def _guard_scenarios(users: int, seed: int) -> dict:
+    """The fixed scenarios both guards byte-compare across."""
+    return {
+        "bench": lambda: _bench_bytes(users, seed),
+        "chaos-gateway-outage": lambda: _chaos_bytes("gateway-outage", seed),
+        "chaos-dns-blackout": lambda: _chaos_bytes("dns-blackout", seed),
+    }
+
+
 def determinism_check(users: int = 20, seed: int = 7) -> dict:
-    """Run the A/B comparison; returns a verdict dict.
+    """Run the caches-on/off A/B comparison; returns a verdict dict.
 
     ``identical`` is True only when every scenario produced the same
     bytes with the caches on and off.  The per-check map names any
     offender so a CI failure is self-describing.
     """
-    scenarios = {
-        "bench": lambda: _bench_bytes(users, seed),
-        "chaos-gateway-outage": lambda: _chaos_bytes("gateway-outage", seed),
-        "chaos-dns-blackout": lambda: _chaos_bytes("dns-blackout", seed),
-    }
+    scenarios = _guard_scenarios(users, seed)
     checks: dict[str, bool] = {}
     for name, produce in scenarios.items():
         saved = OPTIMIZATIONS.as_dict()
@@ -66,6 +79,37 @@ def determinism_check(users: int = 20, seed: int = 7) -> dict:
     return {
         "identical": all(checks.values()),
         "checks": checks,
+        "users": users,
+        "seed": seed,
+    }
+
+
+def scheduler_check(users: int = 20, seed: int = 7,
+                    schedulers: tuple = ("heap", "calendar")) -> dict:
+    """Run the scheduler A/B comparison; returns a verdict dict.
+
+    Every scenario runs once under each named scheduler; ``identical``
+    is True only when all of them produced byte-identical deterministic
+    output.  The reference implementation (``heap``) goes first so a
+    mismatch reads as "calendar diverged from heap".
+    """
+    unknown = [name for name in schedulers if name not in SCHEDULERS]
+    if unknown:
+        raise ValueError(f"unknown scheduler(s): {unknown}")
+    if len(schedulers) < 2:
+        raise ValueError("scheduler_check needs at least two schedulers")
+    scenarios = _guard_scenarios(users, seed)
+    checks: dict[str, bool] = {}
+    for name, produce in scenarios.items():
+        outputs = []
+        for scheduler in schedulers:
+            with scheduler_override(scheduler):
+                outputs.append(produce())
+        checks[name] = all(output == outputs[0] for output in outputs[1:])
+    return {
+        "identical": all(checks.values()),
+        "checks": checks,
+        "schedulers": list(schedulers),
         "users": users,
         "seed": seed,
     }

