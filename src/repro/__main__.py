@@ -14,6 +14,12 @@ Commands:
   printing a PASS/FAIL/INCONCLUSIVE verdict per structural claim;
 * ``chaos`` — run a named fault-injection scenario against the full
   MC system (policies on or off) and print the deterministic report;
+* ``races`` — whole-program static shared-state analysis: call graph
+  over every process function, cross-process access matrix (exported
+  as a JSON artifact), findings for unordered shared mutable state;
+* ``sanitize`` — run a scenario with the same-timestamp commutativity
+  sanitizer installed; hazards are confirmed by deterministic flipped
+  replay and any confirmed race fails the command;
 * ``bench`` — drive N concurrent users through the full transaction
   path with the hot-path caches on and off and the kernel scheduler
   A/B'd heap-vs-calendar, verify byte-identical outputs, optionally
@@ -242,10 +248,76 @@ def _cmd_chaos(args) -> int:
     return 0 if report["success_rate"] > 0 else 1
 
 
+def _cmd_races(args) -> int:
+    from repro.analysis.races import analyze_paths
+
+    paths = args.paths or _default_lint_paths()[:1]
+    try:
+        analysis = analyze_paths(paths)
+    except FileNotFoundError as exc:
+        print(f"python -m repro races: error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        with open(args.json, "w") as handle:
+            handle.write(analysis.render_json() + "\n")
+        print(f"access matrix written to {args.json}", file=sys.stderr)
+    if args.format == "json":
+        print(analysis.render_json())
+    else:
+        print(analysis.render_text())
+    if args.strict_on:
+        strict = analysis.findings_in(args.strict_on)
+        if strict:
+            print(f"\n{len(strict)} unsuppressed finding(s) in strict "
+                  f"paths ({', '.join(args.strict_on)})", file=sys.stderr)
+            return 1
+        print(f"strict paths clean ({', '.join(args.strict_on)})",
+              file=sys.stderr)
+        return 0
+    return 1 if (args.strict and analysis.findings) else 0
+
+
+def _cmd_sanitize(args) -> int:
+    from repro.analysis.races.runner import (
+        render_json,
+        render_text,
+        run_sanitize,
+    )
+
+    try:
+        report = run_sanitize(
+            args.scenario, seed=args.seed, users=args.users,
+            stations=args.stations, transactions=args.transactions,
+            horizon=args.horizon, intensity=args.intensity,
+            max_replays=args.max_replays, flip_mode=args.flip)
+    except ValueError as exc:
+        print(f"python -m repro sanitize: error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        with open(args.json, "w") as handle:
+            handle.write(render_json(report) + "\n")
+        print(f"report written to {args.json}", file=sys.stderr)
+    print(render_text(report))
+    return 1 if report["confirmed_races"] else 0
+
+
 def _cmd_bench(args) -> int:
     import os
 
     from repro.perf import full_bench, report_to_json
+
+    if args.sanitize:
+        # --sanitize switches bench into race-sanitizer mode: same
+        # scenario, instrumented shared state, flip-replay confirmation
+        # of any same-timestamp hazards, race report instead of the
+        # perf report.
+        from repro.analysis.races.runner import render_text, run_sanitize
+
+        report = run_sanitize(
+            "bench", seed=args.seed, users=args.users,
+            transactions=args.transactions, horizon=args.horizon)
+        print(render_text(report))
+        return 1 if report["confirmed_races"] else 0
 
     sweep = None
     if args.sweep:
@@ -434,6 +506,52 @@ def main(argv=None) -> int:
                        help="write the report JSON here instead of stdout")
     chaos.set_defaults(func=_cmd_chaos)
 
+    races = sub.add_parser(
+        "races", help="whole-program shared-state race analysis")
+    races.add_argument("paths", nargs="*",
+                       help="files/directories to analyze "
+                            "(default: the repro package sources)")
+    races.add_argument("--format", default="text",
+                       choices=["text", "json"])
+    races.add_argument("--json", default=None, metavar="PATH",
+                       help="write the access-matrix JSON artifact here")
+    races.add_argument("--strict", action="store_true",
+                       help="exit nonzero on any finding")
+    races.add_argument("--strict-on", nargs="*", default=None,
+                       metavar="PREFIX",
+                       help="exit nonzero only on findings under these "
+                            "path prefixes (e.g. src/repro/faults)")
+    races.set_defaults(func=_cmd_races)
+
+    sanitize = sub.add_parser(
+        "sanitize",
+        help="run a scenario under the commutativity sanitizer")
+    sanitize.add_argument(
+        "scenario", nargs="?", default="bench",
+        help="bench, flaky-radio, gateway-outage, brownout, "
+             "dns-blackout, storm, or planted-race")
+    sanitize.add_argument("--seed", type=int, default=7)
+    sanitize.add_argument("--users", type=int, default=50,
+                          help="bench scenario: concurrent users")
+    sanitize.add_argument("--stations", type=int, default=4,
+                          help="chaos scenarios: stations")
+    sanitize.add_argument("--transactions", type=int, default=3,
+                          help="transactions per user/station")
+    sanitize.add_argument("--horizon", type=float, default=120.0,
+                          help="sim-seconds to run (default 120)")
+    sanitize.add_argument("--intensity", type=float, default=0.5,
+                          help="chaos scenarios: fault intensity")
+    sanitize.add_argument("--max-replays", type=int, default=8,
+                          help="cap on flip-replay confirmations "
+                               "(each re-runs the full scenario)")
+    sanitize.add_argument("--flip", default="pair",
+                          choices=["pair", "batch"],
+                          help="replay flip: transpose the conflicting "
+                               "pair (default) or reverse the batch")
+    sanitize.add_argument("--json", default=None, metavar="PATH",
+                          help="write the sanitize report JSON here")
+    sanitize.set_defaults(func=_cmd_sanitize)
+
     bench = sub.add_parser(
         "bench", help="run the load benchmark and write BENCH_PERF.json")
     bench.add_argument("--users", type=int, default=50,
@@ -456,6 +574,9 @@ def main(argv=None) -> int:
                             "(default: ./BENCH_PERF.json)")
     bench.add_argument("--json", action="store_true",
                        help="also print the full report JSON to stdout")
+    bench.add_argument("--sanitize", action="store_true",
+                       help="run the bench under the commutativity "
+                            "sanitizer instead of timing it")
     bench.set_defaults(func=_cmd_bench)
 
     tables = sub.add_parser("tables", help="print the paper's tables")

@@ -11,7 +11,13 @@ Two engines guard the model *before* anything runs:
 * the **model checker** (:mod:`repro.analysis.model_check`) renders
   verdicts (``PASS``/``FAIL``/``INCONCLUSIVE``) over a built-but-not-run
   :class:`~repro.core.model.SystemModel`, mapping every Figure 1/2 and
-  Table 3 claim from :mod:`repro.core.requirements` to a machine check.
+  Table 3 claim from :mod:`repro.core.requirements` to a machine check;
+* the **race detector** (:mod:`repro.analysis.races`) grows the linter
+  into a whole-program pass — call graph over every process function,
+  cross-process shared-state access matrix, findings for mutable state
+  crossing process boundaries without a kernel handoff — paired with a
+  runtime commutativity sanitizer that flags same-timestamp read/write
+  conflicts and confirms them by deterministic flipped-order replay.
 """
 
 from .findings import Finding, SEVERITY_ERROR, SEVERITY_WARNING
@@ -22,6 +28,15 @@ from .model_check import (
     ModelCheckReport,
     Verdict,
     check_reference_systems,
+)
+from .races import (
+    BatchSanitizer,
+    RaceAnalysis,
+    StaticRaceAnalyzer,
+    analyze_paths,
+    analyze_sources,
+    install_sanitizer,
+    instrument_system,
 )
 from .rules import Rule, RULE_REGISTRY, default_rules, register_rule
 
@@ -37,6 +52,13 @@ __all__ = [
     "ModelCheckReport",
     "Verdict",
     "check_reference_systems",
+    "BatchSanitizer",
+    "RaceAnalysis",
+    "StaticRaceAnalyzer",
+    "analyze_paths",
+    "analyze_sources",
+    "install_sanitizer",
+    "instrument_system",
     "Rule",
     "RULE_REGISTRY",
     "default_rules",

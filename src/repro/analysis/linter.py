@@ -146,7 +146,11 @@ class Linter:
                 report.suppressed += 1
             else:
                 report.findings.append(finding)
-        report.findings.sort(key=lambda f: (f.file, f.line, f.rule_id))
+        # Fully keyed sort (message included as the tiebreaker) so the
+        # rendered output is byte-stable across filesystems and rule
+        # registration order — CI baselines diff against it.
+        report.findings.sort(
+            key=lambda f: (f.file, f.line, f.rule_id, f.message))
         return report
 
     def lint_paths(self, paths: Sequence[str]) -> LintReport:
@@ -163,7 +167,9 @@ class Linter:
             except SyntaxError as exc:
                 parse_errors.append(f"{display}: {exc.msg} (line {exc.lineno})")
         report = self.lint_sources(modules)
-        report.parse_errors = parse_errors
+        # _discover walks sorted, but keep the contract local: parse
+        # errors render in path order regardless of the input order.
+        report.parse_errors = sorted(parse_errors)
         return report
 
     @staticmethod

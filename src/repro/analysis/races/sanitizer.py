@@ -1,0 +1,515 @@
+"""Same-timestamp commutativity sanitizer (the dynamic side).
+
+The kernel dispatches every event sharing the earliest timestamp as one
+``pop_batch`` batch (see :meth:`repro.sim.Simulator.run`).  Entries in
+a batch have no intra-batch causal edges through the kernel — they were
+all scheduled before dispatch began — which makes them exactly the
+candidates a parallel-DES core would run concurrently.  The sanitizer
+asks the question that refactor depends on: *do they commute?*
+
+Three pieces:
+
+* :class:`AccessRecorder` + :class:`TrackedDict`/:class:`TrackedList` —
+  instrumented shared containers that report every read and write,
+  attributed to whichever event the kernel is currently dispatching.
+  :func:`instrument_system` sweeps a built system's well-known shared
+  components (payment accounts, sessions, DB tables, gateway caches
+  and counters ...) and swaps their dicts/lists for tracked versions;
+  the wrappers are behaviour-identical, so an instrumented run
+  computes byte-identical results.
+* :class:`BatchSanitizer` — the kernel hook (installed via
+  :func:`install_sanitizer`, duck-typed like the tracer/profiler).
+  For every batch it closes per-event read/write sets and flags
+  *hazards*: two events in one batch whose sets overlap on a key with
+  at least one write (write/write, or read/write in either order).
+* :class:`FlipDirective` — the confirmation tool.  A hazard is only a
+  *candidate*; the proof is behavioural.  A second, fully
+  deterministic run replays the scenario with the flagged batch
+  dispatched in flipped order (the conflicting pair transposed, or
+  the whole batch reversed) and the final state hashes are diffed.
+  Divergence = CONFIRMED race; identical bytes = the accesses commute
+  in effect (e.g. independent counter increments).
+
+Seeded :class:`repro.sim.RandomStream` draws are deliberately *not*
+tracked: the seed bank is kernel-owned state (the parallel-DES plan
+splits streams per shard), and its draw order is part of the kernel's
+ordering contract, not application-level sharing.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Optional
+
+__all__ = [
+    "AccessRecorder",
+    "BatchSanitizer",
+    "FlipDirective",
+    "TrackedDict",
+    "TrackedList",
+    "first_divergence",
+    "install_sanitizer",
+    "instrument_system",
+    "null_recorder",
+    "state_hash",
+]
+
+
+# --------------------------------------------------------------- recording
+class AccessRecorder:
+    """Collects (key, kind) accesses attributed to the current event.
+
+    ``current`` is the index of the event being dispatched within the
+    current batch, or ``None`` outside dispatch (system build, report
+    collection) — ambient accesses are not recorded.
+    """
+
+    __slots__ = ("current", "reads", "writes", "enabled")
+
+    def __init__(self):
+        self.current: Optional[int] = None
+        self.reads: dict[int, set] = {}
+        self.writes: dict[int, set] = {}
+        self.enabled = True
+
+    def note_read(self, label: str, key: Any) -> None:
+        if self.current is not None and self.enabled:
+            self.reads.setdefault(self.current, set()).add((label, key))
+
+    def note_write(self, label: str, key: Any) -> None:
+        if self.current is not None and self.enabled:
+            self.writes.setdefault(self.current, set()).add((label, key))
+
+    def begin_event(self, index: int) -> None:
+        self.current = index
+
+    def reset(self) -> None:
+        self.current = None
+        self.reads.clear()
+        self.writes.clear()
+
+
+class _NullRecorder(AccessRecorder):
+    """Recorder that keeps tracked containers alive but records nothing
+    (used by confirmation replays, which only need identical types)."""
+
+    __slots__ = ()
+
+    def __init__(self):
+        super().__init__()
+        self.enabled = False
+
+
+class TrackedDict(dict):
+    """A dict reporting reads/writes to an :class:`AccessRecorder`.
+
+    Key-granular: two events touching *different* keys of one dict do
+    not conflict.  Whole-container operations (iteration, ``len``,
+    ``clear``) use the wildcard key ``"*"``.
+    """
+
+    __slots__ = ("_recorder", "_label")
+
+    def __init__(self, data, recorder: AccessRecorder, label: str):
+        super().__init__(data)
+        self._recorder = recorder
+        self._label = label
+
+    def __getitem__(self, key):
+        self._recorder.note_read(self._label, key)
+        return super().__getitem__(key)
+
+    def __setitem__(self, key, value):
+        self._recorder.note_write(self._label, key)
+        super().__setitem__(key, value)
+
+    def __delitem__(self, key):
+        self._recorder.note_write(self._label, key)
+        super().__delitem__(key)
+
+    def __contains__(self, key):
+        self._recorder.note_read(self._label, key)
+        return super().__contains__(key)
+
+    def __iter__(self):
+        self._recorder.note_read(self._label, "*")
+        return super().__iter__()
+
+    def get(self, key, default=None):
+        self._recorder.note_read(self._label, key)
+        return super().get(key, default)
+
+    def pop(self, key, *default):
+        self._recorder.note_write(self._label, key)
+        return super().pop(key, *default)
+
+    def popitem(self):
+        self._recorder.note_write(self._label, "*")
+        return super().popitem()
+
+    def setdefault(self, key, default=None):
+        self._recorder.note_write(self._label, key)
+        return super().setdefault(key, default)
+
+    def update(self, *args, **kwargs):
+        self._recorder.note_write(self._label, "*")
+        super().update(*args, **kwargs)
+
+    def clear(self):
+        self._recorder.note_write(self._label, "*")
+        super().clear()
+
+
+class TrackedList(list):
+    """A list reporting accesses; order-sensitive ops use key ``"*"``.
+
+    Appends conflict with each other (their interleaving decides final
+    order), so every mutation is a write on the wildcard key.
+    """
+
+    __slots__ = ("_recorder", "_label")
+
+    def __init__(self, data, recorder: AccessRecorder, label: str):
+        super().__init__(data)
+        self._recorder = recorder
+        self._label = label
+
+    def append(self, value):
+        self._recorder.note_write(self._label, "*")
+        super().append(value)
+
+    def extend(self, values):
+        self._recorder.note_write(self._label, "*")
+        super().extend(values)
+
+    def insert(self, index, value):
+        self._recorder.note_write(self._label, "*")
+        super().insert(index, value)
+
+    def pop(self, index=-1):
+        self._recorder.note_write(self._label, "*")
+        return super().pop(index)
+
+    def remove(self, value):
+        self._recorder.note_write(self._label, "*")
+        super().remove(value)
+
+    def clear(self):
+        self._recorder.note_write(self._label, "*")
+        super().clear()
+
+    def sort(self, **kwargs):
+        self._recorder.note_write(self._label, "*")
+        super().sort(**kwargs)
+
+    def __setitem__(self, index, value):
+        self._recorder.note_write(self._label, "*")
+        super().__setitem__(index, value)
+
+    def __iter__(self):
+        self._recorder.note_read(self._label, "*")
+        return super().__iter__()
+
+    def __getitem__(self, index):
+        self._recorder.note_read(self._label, "*")
+        return super().__getitem__(index)
+
+
+# ------------------------------------------------------------ flip replay
+@dataclass
+class FlipDirective:
+    """Replay instruction: flip one batch's dispatch order.
+
+    ``ordinal`` counts ``pop_batch`` calls from run start; the replay
+    is byte-identical to the baseline up to that batch, so the ordinal
+    (and the recorded sequence numbers) identify the same batch in
+    both runs.  ``mode`` is ``"pair"`` (transpose the two conflicting
+    entries — the minimal perturbation, leaving every other
+    same-timestamp ordering intact) or ``"batch"`` (reverse the whole
+    batch).
+    """
+
+    ordinal: int
+    seq_a: Optional[int] = None
+    seq_b: Optional[int] = None
+    mode: str = "pair"
+    applied: bool = False
+
+    def apply(self, batch: list) -> list:
+        self.applied = True
+        if self.mode == "batch":
+            return list(reversed(batch))
+        index_a = index_b = None
+        for index, entry in enumerate(batch):
+            if entry[2] == self.seq_a:
+                index_a = index
+            elif entry[2] == self.seq_b:
+                index_b = index
+        if index_a is None or index_b is None:
+            self.applied = False
+            return batch
+        flipped = list(batch)
+        flipped[index_a], flipped[index_b] = \
+            flipped[index_b], flipped[index_a]
+        return flipped
+
+
+# ------------------------------------------------------------- the hook
+class BatchSanitizer:
+    """Kernel dispatch hook: batch accounting, hazard flagging, flips.
+
+    Installed on a :class:`~repro.sim.Simulator` via
+    :func:`install_sanitizer`; the kernel calls :meth:`on_batch` with
+    every popped batch (the return value replaces the batch, which is
+    how flips happen) and :meth:`on_event` right before dispatching
+    each live entry.  Call :meth:`finalize` after the run to close the
+    last batch.
+    """
+
+    def __init__(self, recorder: Optional[AccessRecorder] = None,
+                 flip: Optional[FlipDirective] = None,
+                 max_hazards: int = 64):
+        self.recorder = recorder
+        self.flip = flip
+        self.max_hazards = max_hazards
+        self.hazards: list[dict] = []
+        self.batches = 0
+        self.multi_event_batches = 0
+        self.events_seen = 0
+        self._ordinal = -1
+        self._batch_time = 0.0
+        self._batch_entries: list[tuple] = []
+        self._descriptions: dict[int, str] = {}
+
+    # -- kernel-facing ----------------------------------------------------
+    def on_batch(self, time: float, batch: list) -> list:
+        self._close_batch()
+        self._ordinal += 1
+        self.batches += 1
+        if len(batch) > 1:
+            self.multi_event_batches += 1
+        if self.flip is not None and self._ordinal == self.flip.ordinal:
+            batch = self.flip.apply(batch)
+        self._batch_time = time
+        self._batch_entries = []
+        self._descriptions = {}
+        return batch
+
+    def on_event(self, entry: tuple) -> None:
+        self.events_seen += 1
+        index = len(self._batch_entries)
+        self._batch_entries.append(entry)
+        if self.recorder is not None:
+            self._descriptions[index] = _describe(entry[3])
+            self.recorder.begin_event(index)
+
+    def finalize(self) -> None:
+        self._close_batch()
+
+    # -- hazard detection -------------------------------------------------
+    def _close_batch(self) -> None:
+        recorder = self.recorder
+        entries = self._batch_entries
+        self._batch_entries = []
+        if recorder is None:
+            return
+        recorder.current = None
+        reads, writes = recorder.reads, recorder.writes
+        if len(entries) < 2 or not writes:
+            reads.clear()
+            writes.clear()
+            return
+        if len(self.hazards) < self.max_hazards:
+            self._scan_conflicts(entries, reads, writes)
+        reads.clear()
+        writes.clear()
+
+    def _scan_conflicts(self, entries: list, reads: dict,
+                        writes: dict) -> None:
+        """Flag keys with write/write or read/write overlap between
+        two *different* events of the batch just closed."""
+        writers_by_key: dict[tuple, list[int]] = {}
+        readers_by_key: dict[tuple, list[int]] = {}
+        for index, keys in writes.items():
+            for key in keys:
+                writers_by_key.setdefault(key, []).append(index)
+        for index, keys in reads.items():
+            for key in keys:
+                readers_by_key.setdefault(key, []).append(index)
+        conflicts: dict[tuple, dict] = {}
+        for key, writer_list in writers_by_key.items():
+            reader_list = [r for r in readers_by_key.get(key, [])
+                           if r not in writer_list]
+            involved = sorted(set(writer_list) | set(reader_list))
+            if len(involved) < 2:
+                continue
+            conflicts[key] = {
+                "writers": sorted(set(writer_list)),
+                "readers": sorted(set(reader_list)),
+                "involved": involved,
+            }
+        if not conflicts:
+            return
+        # One hazard per batch: the batch is the replay unit.
+        involved_all = sorted(
+            set(index for c in conflicts.values() for index in c["involved"]))
+        first_key = min(conflicts)
+        pair = conflicts[first_key]["involved"][:2]
+        self.hazards.append({
+            "time": self._batch_time,
+            "batch": self._ordinal,
+            "batch_size": len(entries),
+            "keys": [
+                {
+                    "state": f"{key[0]}[{key[1]!r}]",
+                    "kind": ("write/write"
+                             if len(conflict["writers"]) > 1
+                             else "read/write"),
+                    "writers": [self._describe_index(entries, i)
+                                for i in conflict["writers"]],
+                    "readers": [self._describe_index(entries, i)
+                                for i in conflict["readers"]],
+                }
+                for key, conflict in sorted(conflicts.items())
+            ],
+            "events": [self._describe_index(entries, i)
+                       for i in involved_all],
+            "flip_seqs": [entries[pair[0]][2], entries[pair[1]][2]],
+        })
+
+    def _describe_index(self, entries: list, index: int) -> str:
+        seq = entries[index][2]
+        label = self._descriptions.get(index, "event")
+        return f"{label} (seq {seq})"
+
+
+def _describe(event: Any) -> str:
+    """Human-readable identity of a dispatched event."""
+    from ...sim import Process, Timeout
+
+    if isinstance(event, Process):
+        return f"process {event.name!r}"
+    resumed = [cb.__self__.name for cb in event.callbacks
+               if getattr(cb, "__name__", "") == "_resume"
+               and isinstance(getattr(cb, "__self__", None), Process)]
+    kind = ("timeout" if isinstance(event, Timeout)
+            else type(event).__name__.lower())
+    if resumed:
+        return f"{kind} resuming {', '.join(repr(n) for n in resumed)}"
+    return kind
+
+
+# ----------------------------------------------------------- installation
+def install_sanitizer(sim, sanitizer: BatchSanitizer) -> BatchSanitizer:
+    """Attach ``sanitizer`` to ``sim`` (duck-typed, like the tracer)."""
+    sim._sanitizer = sanitizer
+    return sanitizer
+
+
+def null_recorder() -> AccessRecorder:
+    """A disabled recorder for confirmation replays (identical types,
+    zero recording)."""
+    return _NullRecorder()
+
+
+# -------------------------------------------------------- instrumentation
+def _wrap_attrs(obj: Any, label: str, recorder: AccessRecorder,
+                wrapped: list) -> None:
+    """Swap ``obj``'s plain dict/list attributes for tracked versions."""
+    try:
+        attrs = vars(obj)
+    except TypeError:
+        return
+    for name in sorted(attrs):
+        value = attrs[name]
+        if type(value) is dict:
+            setattr(obj, name, TrackedDict(value, recorder,
+                                           f"{label}.{name}"))
+            wrapped.append(f"{label}.{name}")
+        elif type(value) is list:
+            setattr(obj, name, TrackedList(value, recorder,
+                                           f"{label}.{name}"))
+            wrapped.append(f"{label}.{name}")
+
+
+def _shared_roots(system, engine=None) -> Iterable[tuple]:
+    """(label, object) pairs for the system's well-known shared state."""
+    host = getattr(system, "host", None)
+    if host is not None:
+        yield "payment", getattr(host, "payment", None)
+        yield "users", getattr(host, "users", None)
+        yield "tokens", getattr(host, "tokens", None)
+        web = getattr(host, "web_server", None)
+        yield "web_server", web
+        if web is not None:
+            yield "web_server.sessions", getattr(web, "sessions", None)
+            yield "web_server.stats", getattr(web, "stats", None)
+        db = getattr(host, "db_server", None)
+        yield "db_server", db
+        if db is not None:
+            db_engine = getattr(db, "engine", None) or \
+                getattr(db, "database", None)
+            yield "db", db_engine
+            tables = getattr(db_engine, "tables", None)
+            if isinstance(tables, dict):
+                for name in sorted(tables):
+                    yield f"db.tables[{name}]", tables[name]
+    for label in ("gateway", "standby_gateway"):
+        gateway = getattr(system, label, None)
+        if gateway is not None:
+            yield label, gateway
+            yield f"{label}.stats", getattr(gateway, "stats", None)
+    for index, app in enumerate(getattr(system, "applications", ())):
+        yield f"app[{index}]", app
+    if engine is not None:
+        yield "engine", engine
+
+
+def instrument_system(system, recorder: AccessRecorder,
+                      engine=None) -> list[str]:
+    """Instrument a built system's shared components; returns the list
+    of wrapped container labels.
+
+    The sweep is one attribute level deep over a curated set of roots
+    (payment processor, user/token stores, web sessions, DB tables,
+    gateways and their caches/counters, mounted applications, the
+    transaction engine).  Containers are replaced with
+    behaviour-identical tracked versions, so the instrumented run's
+    deterministic output is byte-identical to an uninstrumented one.
+    """
+    wrapped: list[str] = []
+    for label, obj in _shared_roots(system, engine):
+        if obj is None:
+            continue
+        _wrap_attrs(obj, label, recorder, wrapped)
+    return wrapped
+
+
+# ----------------------------------------------------------- state hashes
+def state_hash(payload: str) -> str:
+    """Stable short hash of a canonical state serialisation."""
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+def first_divergence(baseline: str, flipped: str) -> Optional[dict]:
+    """First differing line between two canonical JSON serialisations
+    (None when identical) — the human-readable core of a CONFIRMED
+    verdict's state-hash diff."""
+    if baseline == flipped:
+        return None
+    base_lines = baseline.splitlines()
+    flip_lines = flipped.splitlines()
+    for number, (a, b) in enumerate(zip(base_lines, flip_lines), start=1):
+        if a != b:
+            return {"line": number, "baseline": a.strip(),
+                    "flipped": b.strip()}
+    longer, shorter = ((base_lines, flip_lines)
+                       if len(base_lines) > len(flip_lines)
+                       else (flip_lines, base_lines))
+    return {"line": len(shorter) + 1,
+            "baseline": (base_lines[len(shorter)].strip()
+                         if len(base_lines) > len(shorter) else ""),
+            "flipped": (flip_lines[len(shorter)].strip()
+                        if len(flip_lines) > len(shorter) else "")}

@@ -24,6 +24,7 @@ from .hygiene import (
 )
 from .imports import ImportCycleRule
 from .kernel import YieldEventRule
+from .ordering import SetIterationRule
 from .perf import HotQueuePopRule
 
 __all__ = [
@@ -41,5 +42,6 @@ __all__ = [
     "MutableDefaultRule",
     "ImportCycleRule",
     "YieldEventRule",
+    "SetIterationRule",
     "HotQueuePopRule",
 ]

@@ -1,0 +1,152 @@
+"""Ordering rules: no iteration order borrowed from hash tables.
+
+Python randomizes string hashing per interpreter launch (PYTHONHASHSEED),
+so the iteration order of a ``set``/``frozenset`` of strings differs
+between runs even with identical seeds.  Any sim-facing code that walks
+a set — scheduling work per element, building output, draining members —
+injects that randomness straight into the event order and breaks the
+repo's byte-identical determinism guards.  Dict insertion order is
+guaranteed, so dicts are fine; sets must be walked via ``sorted(...)``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..findings import Finding, SEVERITY_WARNING
+from .base import ModuleInfo, Rule, register_rule
+
+__all__ = ["SetIterationRule"]
+
+#: Calls that produce sets (or consume their iteration order directly).
+_SET_FACTORIES = frozenset({"set", "frozenset"})
+
+#: Set methods that return sets — ``a.union(b)`` etc. keep setness.
+_SET_COMBINATORS = frozenset({
+    "union", "intersection", "difference", "symmetric_difference",
+})
+
+#: Functions whose argument's iteration order becomes output order.
+_ORDER_SINKS = frozenset({"list", "tuple", "enumerate", "iter", "map",
+                          "filter", "join"})
+
+#: ``sorted``/``min``/``max``/``sum``/``len``/``any``/``all`` consume a
+#: set without exposing its order — those are the sanctioned sinks.
+_ORDER_SAFE = frozenset({"sorted", "min", "max", "sum", "len", "any",
+                         "all", "bool", "frozenset", "set"})
+
+
+def _is_setish(node: ast.AST, set_names: set[str]) -> bool:
+    """Does ``node`` evaluate to a set, as far as one file can tell?"""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Name):
+        return node.id in set_names
+    if isinstance(node, ast.Call):
+        head = node.func
+        if isinstance(head, ast.Name) and head.id in _SET_FACTORIES:
+            return True
+        if isinstance(head, ast.Attribute) and \
+                head.attr in _SET_COMBINATORS:
+            return _is_setish(head.value, set_names)
+        return False
+    if isinstance(node, ast.BinOp) and \
+            isinstance(node.op, (ast.BitOr, ast.BitAnd, ast.BitXor,
+                                 ast.Sub)):
+        # a | b, a & b, a ^ b, a - b on sets stay sets; require one
+        # side to be provably setish to avoid flagging int arithmetic.
+        return _is_setish(node.left, set_names) or \
+            _is_setish(node.right, set_names)
+    return False
+
+
+def _local_set_names(tree: ast.AST) -> set[str]:
+    """Names assigned a set literal/comprehension/factory anywhere in
+    the file (single-file approximation, deliberately shallow)."""
+    names: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign) and \
+                _is_setish(node.value, names):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+        elif isinstance(node, ast.AnnAssign) and node.value is not None \
+                and isinstance(node.target, ast.Name) and \
+                _is_setish(node.value, names):
+            names.add(node.target.id)
+    return names
+
+
+@register_rule
+class SetIterationRule(Rule):
+    """No iteration over ``set``/``frozenset`` in sim-facing code.
+
+    Flags ``for x in <set>``, comprehensions over sets, unpacking a set,
+    and order-exposing conversions (``list(s)``, ``tuple(s)``,
+    ``enumerate(s)``, ``",".join(s)``, ``iter``/``map``/``filter`` over
+    a set) anywhere under ``repro`` except the analysis tooling itself.
+    Hash-randomized member order is per-interpreter state: it leaks
+    into event ordering and breaks byte-identical replay.  Iterate
+    ``sorted(the_set)`` instead (or keep a dict, whose insertion order
+    is guaranteed).
+    """
+
+    rule_id = "set-iteration"
+    severity = SEVERITY_WARNING
+    description = ("iteration over a set/frozenset exposes "
+                   "hash-randomized order; use sorted(...)")
+
+    SIM_PACKAGE = "repro"
+    EXEMPT_PACKAGE = "repro.analysis"
+
+    def check_module(self, info: ModuleInfo) -> Iterator[Finding]:
+        if not info.in_package(self.SIM_PACKAGE) or \
+                info.in_package(self.EXEMPT_PACKAGE):
+            return
+        set_names = _local_set_names(info.tree)
+        for node in ast.walk(info.tree):
+            if isinstance(node, ast.For) and \
+                    _is_setish(node.iter, set_names):
+                yield self.finding(
+                    info, node.lineno,
+                    "for-loop over a set: hash-randomized order is a "
+                    "nondeterminism hazard; iterate sorted(...) instead")
+            elif isinstance(node, (ast.ListComp, ast.SetComp,
+                                   ast.DictComp, ast.GeneratorExp)):
+                for comp in node.generators:
+                    if _is_setish(comp.iter, set_names):
+                        yield self.finding(
+                            info, node.lineno,
+                            "comprehension over a set: hash-randomized "
+                            "order is a nondeterminism hazard; iterate "
+                            "sorted(...) instead")
+            elif isinstance(node, ast.Call):
+                yield from self._check_call(info, node, set_names)
+            elif isinstance(node, ast.Assign) and \
+                    any(isinstance(t, (ast.Tuple, ast.List))
+                        for t in node.targets) and \
+                    _is_setish(node.value, set_names):
+                yield self.finding(
+                    info, node.lineno,
+                    "unpacking a set: element order is hash-randomized; "
+                    "unpack sorted(...) instead")
+
+    def _check_call(self, info: ModuleInfo, node: ast.Call,
+                    set_names: set[str]) -> Iterator[Finding]:
+        head = node.func
+        if isinstance(head, ast.Name):
+            name = head.id
+            if name in _ORDER_SAFE or name not in _ORDER_SINKS:
+                return
+            if any(_is_setish(arg, set_names) for arg in node.args):
+                yield self.finding(
+                    info, node.lineno,
+                    f"{name}(...) over a set exposes hash-randomized "
+                    "order; wrap the set in sorted(...) first")
+        elif isinstance(head, ast.Attribute) and head.attr == "join":
+            if any(_is_setish(arg, set_names) for arg in node.args):
+                yield self.finding(
+                    info, node.lineno,
+                    "str.join over a set exposes hash-randomized order; "
+                    "join sorted(...) instead")

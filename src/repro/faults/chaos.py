@@ -122,14 +122,18 @@ def run_chaos(scenario: str = "storm", seed: int = 0,
               horizon: float = 240.0, middleware: str = "WAP",
               bearer: tuple = ("cellular", "GPRS"),
               device: str = DEFAULT_DEVICE,
-              plan: FaultPlan = None) -> dict:
+              plan: FaultPlan = None,
+              post_build=None) -> dict:
     """Run one chaos scenario end to end; returns the report dict.
 
     ``policies=False`` builds the identical system without any
     resilience wiring (no retry, breakers, standby, shedding), which is
     the baseline the benchmark compares against.  An explicit ``plan``
     overrides the scenario's schedule (the scenario name is still
-    recorded).
+    recorded).  ``post_build(system, engine)``, when given, runs after
+    the scenario is fully wired but before the clock starts — the race
+    sanitizer uses it to instrument shared state and install its
+    kernel hook.
     """
     resilience = ResilienceConfig() if policies else None
     builder = MCSystemBuilder(seed=seed, middleware=middleware,
@@ -171,6 +175,9 @@ def run_chaos(scenario: str = "storm", seed: int = 0,
     for index, handle in enumerate(handles):
         system.sim.spawn(shopper(handle, f"shopper{index}")(system.sim),
                          name=f"shopper-{index}")
+
+    if post_build is not None:
+        post_build(system, engine)
 
     system.run(until=horizon)
 

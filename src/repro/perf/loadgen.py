@@ -47,7 +47,8 @@ def run_bench(users: int = 50, seed: int = 7,
               policies: bool = True,
               trace: bool = True,
               max_spans: int = 2_000_000,
-              scheduler: Optional[str] = None) -> dict:
+              scheduler: Optional[str] = None,
+              post_build=None) -> dict:
     """Run the load scenario once and return the benchmark report dict.
 
     ``users`` stations each run ``transactions_per_user`` purchase flows
@@ -56,6 +57,9 @@ def run_bench(users: int = 50, seed: int = 7,
     not counted.  ``scheduler`` picks the kernel scheduler for this run
     (None = process default); the choice is recorded outside the
     deterministic section so the A/B guard can byte-compare across it.
+    ``post_build(system, engine)``, when given, runs after the scenario
+    is fully wired but before the clock starts — the race sanitizer
+    uses it to instrument shared state and install its kernel hook.
     """
     if users < 1:
         raise ValueError(f"users must be >= 1, got {users}")
@@ -102,6 +106,9 @@ def run_bench(users: int = 50, seed: int = 7,
     for index, handle in enumerate(handles):
         system.sim.spawn(shopper(handle, f"user{index}")(system.sim),
                          name=f"user-{index}")
+
+    if post_build is not None:
+        post_build(system, engine)
 
     # With gc_isolation on, compact the heap once and freeze the live
     # object graph into the permanent generation, then re-freeze at

@@ -431,6 +431,12 @@ class Simulator:
         # path costs one attribute check.
         self.tracer: Any = None
         self._profiler: Any = None
+        # Same duck-typed pattern for the commutativity sanitizer
+        # (repro.analysis.races.BatchSanitizer): when installed it sees
+        # every popped batch (and may reorder it for flip replays) plus
+        # every dispatched entry.  None by default; the disabled path
+        # costs one hoisted attribute check per run().
+        self._sanitizer: Any = None
         # Number of events processed so far; doubles as the processing
         # index stamped onto each event (a plain int so callers can read
         # it without a profiler installed).  Tombstoned (cancelled)
@@ -493,6 +499,11 @@ class Simulator:
         if time < self.now:
             raise SimulationError("time went backwards")
         self.now = time
+        if self._sanitizer is not None:
+            # A single step is a batch of one; keeps the sanitizer's
+            # batch ordinals aligned with run()-driven dispatch.
+            self._sanitizer.on_batch(time, [entry])
+            self._sanitizer.on_event(entry)
         event._order = self.events_processed
         self.events_processed += 1
         if self._profiler is not None:
@@ -528,6 +539,7 @@ class Simulator:
             raise SimulationError(f"until={until} is in the past (now={self.now})")
         sched = self._sched
         pop_batch = sched.pop_batch
+        sanitizer = self._sanitizer
         while True:
             batch = pop_batch(until)
             if not batch:
@@ -536,6 +548,10 @@ class Simulator:
             if time < self.now:
                 raise SimulationError("time went backwards")
             self.now = time
+            if sanitizer is not None:
+                # The sanitizer closes the previous batch's read/write
+                # sets and may return a reordered batch (flip replay).
+                batch = sanitizer.on_batch(time, batch)
             index = 0
             size = len(batch)
             while index < size:
@@ -552,6 +568,8 @@ class Simulator:
                     # Timeout.cancel() charged to the scheduler.
                     sched.tombstones -= 1
                     continue
+                if sanitizer is not None:
+                    sanitizer.on_event(entry)
                 event._order = self.events_processed
                 self.events_processed += 1
                 if self._profiler is not None:

@@ -91,6 +91,15 @@ class Scheduler:
         Returns ``[]`` when nothing is pending or the earliest live
         entry lies beyond ``until``.  Cancelled entries encountered on
         the way are dropped silently (tombstone bookkeeping included).
+
+        The batch is also the unit of the commutativity contract: the
+        entries share a timestamp with no intra-batch causal edge
+        through the kernel, so a parallel core may dispatch them
+        concurrently only if they commute.  The race sanitizer
+        (``repro.analysis.races``) hooks :meth:`Simulator.run` right
+        after this call to record per-entry read/write sets and — on
+        replay — hand back the batch in flipped order to prove or
+        refute a flagged hazard.
         """
         raise NotImplementedError
 

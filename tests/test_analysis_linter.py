@@ -350,6 +350,85 @@ def test_hot_queue_pop_suppressed():
     assert report.suppressed == 1
 
 
+# -- set-iteration -----------------------------------------------------------
+
+def test_set_iteration_flags_loops_and_conversions():
+    report = run_rule("set-iteration", """\
+        members = {"a", "b"}
+        def walk():
+            for m in members:
+                print(m)
+            ordered = list(members)
+            joined = ",".join(members)
+            combos = [m for m in members | {"c"}]
+            return ordered, joined, combos
+    """, module="repro.fake.walk")
+    assert [f.line for f in report.findings] == [3, 5, 6, 7]
+    assert all(f.rule_id == "set-iteration" for f in report.findings)
+
+
+def test_set_iteration_allows_sorted_and_aggregates():
+    report = run_rule("set-iteration", """\
+        members = {"a", "b"}
+        def walk():
+            for m in sorted(members):
+                print(m)
+            return len(members), max(members), "a" in members
+    """, module="repro.fake.walk")
+    assert report.findings == []
+
+
+def test_set_iteration_only_in_sim_facing_code():
+    source = """\
+        def walk():
+            for m in {"a", "b"}:
+                print(m)
+    """
+    foreign = run_rule("set-iteration", source, module="thirdparty.mod")
+    assert foreign.findings == []
+    tooling = run_rule("set-iteration", source,
+                       module="repro.analysis.fixture")
+    assert tooling.findings == []
+    sim_facing = run_rule("set-iteration", source, module="repro.web.fake")
+    assert len(sim_facing.findings) == 1
+
+
+def test_set_iteration_suppressed():
+    report = run_rule("set-iteration", """\
+        def walk(members: set):
+            return list(set(members))  # repro: noqa[set-iteration]
+    """, module="repro.fake.walk")
+    assert report.findings == []
+    assert report.suppressed == 1
+
+
+# -- stable output ordering ---------------------------------------------------
+
+def test_findings_sorted_regardless_of_input_order():
+    """Identical byte output however files and rules are discovered."""
+    sources = [
+        ModuleInfo.parse("zz.py", "import random\nimport time\n",
+                         module="repro.fake.zz"),
+        ModuleInfo.parse("aa.py", "import random\n",
+                         module="repro.fake.aa"),
+    ]
+    forward = Linter().lint_sources(sources)
+    reverse = Linter().lint_sources(list(reversed(sources)))
+    assert forward.render_text() == reverse.render_text()
+    keys = [(f.file, f.line, f.rule_id, f.message)
+            for f in forward.findings]
+    assert keys == sorted(keys)
+
+
+def test_parse_errors_render_sorted(tmp_path):
+    for name in ("zz_bad.py", "aa_bad.py"):
+        (tmp_path / name).write_text("def broken(:\n")
+    report = lint_paths([str(tmp_path)])
+    assert len(report.parse_errors) == 2
+    assert report.parse_errors == sorted(report.parse_errors)
+    assert "aa_bad.py" in report.parse_errors[0]
+
+
 # -- catalogue, suppression syntax, report plumbing ---------------------------
 
 def test_catalogue_has_at_least_eight_rules():
@@ -357,7 +436,7 @@ def test_catalogue_has_at_least_eight_rules():
     assert set(RULE_REGISTRY) >= {
         "wall-clock", "module-random", "yield-event", "bare-except",
         "broad-except", "mutable-default", "export-drift", "import-cycle",
-        "hot-queue-pop",
+        "hot-queue-pop", "set-iteration",
     }
 
 

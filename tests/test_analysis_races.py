@@ -1,0 +1,237 @@
+"""Tests for the static side of the race detector: process discovery,
+call-graph reachability, shared-state matrix, findings and the JSON
+artifact."""
+
+import json
+import textwrap
+
+from repro.analysis.races import analyze_paths, analyze_sources
+from repro.analysis.races.static import RULE_ID, StaticRaceAnalyzer
+from repro.analysis.rules import ModuleInfo
+
+
+def analyze(*sources):
+    """Analyze (path, module, source) triples."""
+    infos = [ModuleInfo.parse(path, textwrap.dedent(source), module=module)
+             for path, module, source in sources]
+    return analyze_sources(infos)
+
+
+WRITER_READER = ("shop.py", "repro.fake.shop", """\
+    class Shop:
+        def __init__(self):
+            self.orders = {}
+
+        def seller(self, env):
+            yield env.timeout(1)
+            self.orders["last"] = "sold"
+
+        def auditor(self, env):
+            yield env.timeout(1)
+            count = self.orders.get("last")
+            return count
+""")
+
+
+def test_cross_process_write_is_flagged():
+    analysis = analyze(WRITER_READER)
+    assert len(analysis.processes) == 2
+    assert any(f.rule_id == RULE_ID for f in analysis.findings)
+    finding = analysis.findings[0]
+    assert "Shop.orders" in finding.message
+    assert finding.file == "shop.py"
+    assert finding.severity == "warning"
+
+
+def test_single_process_state_is_not_flagged():
+    analysis = analyze(("solo.py", "repro.fake.solo", """\
+        class Solo:
+            def __init__(self):
+                self.tally = {}
+
+            def worker(self, env):
+                yield env.timeout(1)
+                self.tally["n"] = 1
+    """))
+    assert analysis.findings == []
+
+
+def test_handoff_methods_are_sanctioned():
+    analysis = analyze(("store.py", "repro.fake.store", """\
+        class Producerconsumer:
+            def __init__(self, store):
+                self.store = store
+
+            def producer(self, env):
+                yield self.store.put("item")
+
+            def consumer(self, env):
+                item = yield self.store.get()
+                return item
+    """))
+    assert analysis.findings == []
+
+
+def test_call_graph_indirection_is_followed():
+    # The write happens two helper calls below the process function.
+    analysis = analyze(("deep.py", "repro.fake.deep", """\
+        class Ledger:
+            def __init__(self):
+                self.entries = {}
+
+            def _commit(self, key):
+                self.entries[key] = True
+
+            def _record(self, key):
+                self._commit(key)
+
+            def poster(self, env):
+                yield env.timeout(1)
+                self._record("a")
+
+            def reviewer(self, env):
+                yield env.timeout(1)
+                self._record("b")
+    """))
+    assert any("Ledger.entries" in f.message for f in analysis.findings)
+
+
+def test_noqa_suppresses_shared_state_finding():
+    analysis = analyze(("ok.py", "repro.fake.ok", """\
+        class Board:
+            def __init__(self):
+                self.notes = {}
+
+            def writer_a(self, env):
+                yield env.timeout(1)
+                self.notes["k"] = 1  # repro: noqa[shared-state]
+
+            def writer_b(self, env):
+                yield env.timeout(1)
+                count = self.notes.get("k")
+                return count
+    """))
+    assert analysis.findings == []
+
+
+def test_kernel_package_is_exempt():
+    path, _, source = WRITER_READER
+    analysis = analyze((path, "repro.sim.fake", source))
+    assert analysis.findings == []
+    assert analysis.processes == []
+
+
+def test_module_level_mutable_global_is_tracked():
+    analysis = analyze(("glob.py", "repro.fake.glob", """\
+        REGISTRY = {}
+
+        def register(env):
+            yield env.timeout(1)
+            REGISTRY["a"] = 1
+
+        def scanner(env):
+            yield env.timeout(1)
+            found = REGISTRY.get("a")
+            return found
+    """))
+    assert any("repro.fake.glob.REGISTRY" in f.message
+               for f in analysis.findings)
+
+
+def test_matrix_artifact_shape():
+    analysis = analyze(WRITER_READER)
+    artifact = json.loads(analysis.render_json())
+    assert artifact["cross_process_keys"] >= 1
+    key = "repro.fake.shop.Shop.orders"
+    assert key in artifact["matrix"]
+    cell = artifact["matrix"][key]
+    assert cell["cross_process_write"] is True
+    assert cell["write_sites"] and cell["read_sites"]
+    accesses = cell["accesses"]
+    assert any("W" in kinds for kinds in accesses.values())
+
+
+def test_findings_are_stable_sorted():
+    analysis = analyze(
+        WRITER_READER,
+        ("aaa.py", "repro.fake.aaa", """\
+            class Pool:
+                def __init__(self):
+                    self.jobs = {}
+
+                def one(self, env):
+                    yield env.timeout(1)
+                    self.jobs["x"] = 1
+
+                def two(self, env):
+                    yield env.timeout(1)
+                    self.jobs["x"] = 2
+        """),
+    )
+    keys = [(f.file, f.line, f.rule_id, f.message)
+            for f in analysis.findings]
+    assert keys == sorted(keys)
+    assert keys[0][0] == "aaa.py"
+
+
+def test_findings_in_filters_by_prefix():
+    analysis = analyze(WRITER_READER)
+    assert analysis.findings_in(["shop.py"]) == analysis.findings
+    assert analysis.findings_in(["src/other"]) == []
+
+
+def test_analyze_paths_over_repo_strict_dirs_clean():
+    analysis = analyze_paths(["src/repro"])
+    strict = analysis.findings_in(
+        ("src/repro/faults", "src/repro/resilience", "src/repro/sim"))
+    assert strict == []
+    # The pass must actually be looking at a whole program, not a stub.
+    assert len(analysis.processes) > 50
+    assert analysis.functions > 500
+
+
+def test_cha_resolution_skips_builtin_container_methods():
+    # x.update(...) on an unknown receiver must NOT wire an edge into
+    # every class defining update(); the dict mutation of the process's
+    # *own* tracked state is still seen.
+    analysis = analyze(("cha.py", "repro.fake.cha", """\
+        class Stats:
+            def __init__(self):
+                self.counts = {}
+
+            def update(self, key):
+                self.counts[key] = self.counts.get(key, 0) + 1
+
+        class Driver:
+            def __init__(self, mystery):
+                self.mystery = mystery
+
+            def runner(self, env):
+                yield env.timeout(1)
+                self.mystery.update("k")
+    """))
+    keys = [key for key in analysis.matrix
+            if key.endswith("Stats.counts")]
+    if keys:
+        cell = analysis.matrix[keys[0]]
+        assert not cell["accesses"], \
+            "CHA must not resolve .update() into Stats.update"
+
+
+def test_yield_from_delegation_counts_as_process_body():
+    analysis = analyze(("dele.py", "repro.fake.dele", """\
+        class Flow:
+            def __init__(self):
+                self.state = {}
+
+            def _inner(self, env):
+                yield env.timeout(1)
+                self.state["k"] = 1
+
+            def outer_a(self, env):
+                yield from self._inner(env)
+
+            def outer_b(self, env):
+                yield from self._inner(env)
+    """))
+    assert any("Flow.state" in f.message for f in analysis.findings)
