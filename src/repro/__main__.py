@@ -360,11 +360,21 @@ def _cmd_bench(args) -> int:
     if sweep is not None:
         for point in report["sweep"]["deterministic"]["points"]:
             print(f"  sweep users={point['users']:4d}: "
-                  f"offered {point['offered_tps']:.3f} tx/s, "
+                  f"offered {point['offered']:5d} "
+                  f"admitted {point['admitted']:5d} "
+                  f"completed {point['completed']:5d} "
+                  f"succeeded {point['succeeded']:5d}; "
                   f"goodput {point['goodput_tps']:.3f} tx/s, "
                   f"p95 {point['latency_p95']:.3f}s", file=sys.stderr)
     print(f"report written to {args.out}", file=sys.stderr)
     failures = []
+    if sweep is not None:
+        curve = report["sweep"]["deterministic"]["curve"]
+        if not curve["monotone"]:
+            failures.append(
+                "capacity curve has a cliff: goodput regressed at "
+                + ", ".join(f"users={r['users']}"
+                            for r in curve["regressions"]))
     if not det["identical"] or \
             not report["identical_results_caches_on_vs_off"]:
         failed = [name for name, ok in det["checks"].items() if not ok]
@@ -375,7 +385,7 @@ def _cmd_bench(args) -> int:
         failures.append(f"schedulers diverged ({', '.join(failed)})")
     if failures:
         for failure in failures:
-            print(f"DETERMINISM FAILURE: {failure}", file=sys.stderr)
+            print(f"BENCH FAILURE: {failure}", file=sys.stderr)
         return 1
     print("determinism: caches on/off byte-identical "
           f"({', '.join(det['checks'])})", file=sys.stderr)

@@ -152,9 +152,19 @@ class CommerceApp(Application):
         def flow(ctx):
             user_q = f"&user={user}" if user else ""
             catalog = yield from ctx.get(f"/shop/catalog?x=1{user_q}")
+            if catalog.status != 200:
+                # Retries are exhausted by the time a non-200 surfaces
+                # here; pressing on would waste two more round trips of
+                # scarce airtime on a transaction that already failed.
+                raise RuntimeError(
+                    f"catalog failed: {catalog.status} "
+                    f"{catalog.body[:80]!r}")
             yield from ctx.render(catalog)
             item = yield from ctx.get(
                 f"/shop/item?id={item_id}&account={account}")
+            if item.status != 200:
+                raise RuntimeError(
+                    f"item failed: {item.status} {item.body[:80]!r}")
             yield from ctx.render(item)
             confirmation = yield from ctx.get(
                 f"/shop/buy?id={item_id}&qty=1&account={account}")

@@ -258,7 +258,8 @@ class MCSystemBuilder:
     def __init__(self, seed: int = 0, middleware: str = "WAP",
                  bearer: tuple[str, str] = ("cellular", "GPRS"),
                  wireless_loss: float = 0.0, secure_wap: bool = False,
-                 resilience: Optional[ResilienceConfig] = None):
+                 resilience: Optional[ResilienceConfig] = None,
+                 middleware_port: Optional[int] = None):
         if middleware not in ("WAP", "i-mode", "Palm"):
             raise ValueError(f"unknown middleware {middleware!r}")
         if secure_wap and middleware != "WAP":
@@ -275,6 +276,11 @@ class MCSystemBuilder:
         # None keeps historical behaviour bit-for-bit: no breakers, no
         # standby gateway, no retry, no shedding.
         self.resilience = resilience
+        # Primary middleware port override (None = the protocol's
+        # registered constant).  The standby endpoint is always derived
+        # from the primary's actual port and published in the name
+        # registry, so failover survives non-default layouts.
+        self.middleware_port = middleware_port
 
     def build(self) -> MCSystem:
         seeds = SeedBank(self.seed)
@@ -304,6 +310,7 @@ class MCSystemBuilder:
                 if self.wireless_loss > 0 else None)
             ap = AccessPoint(middleware_node, Position(0.0, 0.0), standard,
                              channel, wireless_subnet=station_subnet)
+            air_pressure = None  # WLAN: no shared-airtime backlog probe
             bearer_impl = ap
 
             def attach(station: MobileStation):
@@ -315,7 +322,9 @@ class MCSystemBuilder:
                 loss_rate=self.wireless_loss, loss_stream=loss_stream,
                 subscriber_subnet=str(station_subnet),
             )
-            cellnet.add_base_station("cell-0", Position(0.0, 0.0))
+            base_station = cellnet.add_base_station("cell-0",
+                                                    Position(0.0, 0.0))
+            air_pressure = base_station.air_backlog
             bearer_impl = cellnet
 
             def attach(station: MobileStation):
@@ -334,76 +343,138 @@ class MCSystemBuilder:
             if want_standby else None)
         standby_gateway = None
         make_standby_session = None
+        standby_offset = res.standby_port_offset if res is not None else 10
+        # Gateway-side batching + admission control (off unless the
+        # config enables it); primary and standby get independent
+        # batchers with their own seeded jitter streams.
+        batch_cfg = res.batch_config() if res is not None else None
+        batch_stream = (seeds.stream("gateway-admission")
+                        if batch_cfg is not None else None)
+        standby_batch_stream = (seeds.stream("gateway-admission-standby")
+                                if batch_cfg is not None and want_standby
+                                else None)
+        gw_address = middleware_node.primary_address
 
         if self.middleware == "WAP":
+            primary_port = self.middleware_port or WSP_PORT
             gateway = WAPGateway(middleware_node, registry,
+                                 port=primary_port,
+                                 wtls_port=primary_port
+                                 + (WTLS_PORT - WSP_PORT),
                                  entropy=seeds.stream("wtls-gateway"),
                                  breaker=breaker,
-                                 origin_timeout=origin_timeout)
+                                 origin_timeout=origin_timeout,
+                                 batching=batch_cfg,
+                                 batch_stream=batch_stream,
+                                 air_pressure=air_pressure)
             secure = self.secure_wap
+            registry.register_service("middleware", gw_address,
+                                      gateway.port)
+            registry.register_service("middleware-wtls", gw_address,
+                                      gateway.wtls_port)
 
             def make_session(station: MobileStation) -> MiddlewareSession:
                 if secure:
+                    endpoint = registry.lookup_service("middleware-wtls")
                     return WAPSession(
-                        station, middleware_node.primary_address,
+                        station, endpoint.address, port=endpoint.port,
                         secure=True,
                         entropy=seeds.stream(f"wtls-{station.name}"))
-                return WAPSession(station,
-                                  middleware_node.primary_address)
+                endpoint = registry.lookup_service("middleware")
+                return WAPSession(station, endpoint.address,
+                                  port=endpoint.port)
 
             if want_standby:
                 standby_gateway = WAPGateway(
-                    middleware_node, registry, port=WSP_PORT + 10,
-                    wtls_port=WTLS_PORT + 10,
+                    middleware_node, registry,
+                    port=gateway.port + standby_offset,
+                    wtls_port=gateway.wtls_port + standby_offset,
                     entropy=seeds.stream("wtls-gateway-standby"),
-                    breaker=standby_breaker, origin_timeout=origin_timeout)
+                    breaker=standby_breaker, origin_timeout=origin_timeout,
+                    batching=res.batch_config(),
+                    batch_stream=standby_batch_stream,
+                    air_pressure=air_pressure)
+                registry.register_service("middleware-standby", gw_address,
+                                          standby_gateway.port)
+                registry.register_service("middleware-standby-wtls",
+                                          gw_address,
+                                          standby_gateway.wtls_port)
 
                 def make_standby_session(station):
                     if secure:
+                        endpoint = registry.lookup_service(
+                            "middleware-standby-wtls")
                         return WAPSession(
-                            station, middleware_node.primary_address,
-                            port=WTLS_PORT + 10, secure=True,
+                            station, endpoint.address, port=endpoint.port,
+                            secure=True,
                             entropy=seeds.stream(
                                 f"wtls-standby-{station.name}"))
-                    return WAPSession(station,
-                                      middleware_node.primary_address,
-                                      port=WSP_PORT + 10)
+                    endpoint = registry.lookup_service("middleware-standby")
+                    return WAPSession(station, endpoint.address,
+                                      port=endpoint.port)
         elif self.middleware == "Palm":
             gateway = WebClippingProxy(middleware_node, registry,
+                                       port=self.middleware_port
+                                       or CLIPPING_PORT,
                                        breaker=breaker,
-                                       origin_timeout=origin_timeout)
+                                       origin_timeout=origin_timeout,
+                                       batching=batch_cfg,
+                                       batch_stream=batch_stream,
+                                       air_pressure=air_pressure)
+            registry.register_service("middleware", gw_address,
+                                      gateway.port)
 
             def make_session(station: MobileStation) -> MiddlewareSession:
-                return PalmSession(station,
-                                   middleware_node.primary_address)
+                endpoint = registry.lookup_service("middleware")
+                return PalmSession(station, endpoint.address,
+                                   port=endpoint.port)
 
             if want_standby:
                 standby_gateway = WebClippingProxy(
-                    middleware_node, registry, port=CLIPPING_PORT + 10,
-                    breaker=standby_breaker, origin_timeout=origin_timeout)
+                    middleware_node, registry,
+                    port=gateway.port + standby_offset,
+                    breaker=standby_breaker, origin_timeout=origin_timeout,
+                    batching=res.batch_config(),
+                    batch_stream=standby_batch_stream,
+                    air_pressure=air_pressure)
+                registry.register_service("middleware-standby", gw_address,
+                                          standby_gateway.port)
 
                 def make_standby_session(station):
-                    return PalmSession(station,
-                                       middleware_node.primary_address,
-                                       port=CLIPPING_PORT + 10)
+                    endpoint = registry.lookup_service("middleware-standby")
+                    return PalmSession(station, endpoint.address,
+                                       port=endpoint.port)
         else:
             gateway = IModeCenter(middleware_node, registry,
+                                  port=self.middleware_port or IMODE_PORT,
                                   breaker=breaker,
-                                  origin_timeout=origin_timeout)
+                                  origin_timeout=origin_timeout,
+                                  batching=batch_cfg,
+                                  batch_stream=batch_stream,
+                                  air_pressure=air_pressure)
+            registry.register_service("middleware", gw_address,
+                                      gateway.port)
 
             def make_session(station: MobileStation) -> MiddlewareSession:
-                return IModeSession(station,
-                                    middleware_node.primary_address)
+                endpoint = registry.lookup_service("middleware")
+                return IModeSession(station, endpoint.address,
+                                    port=endpoint.port)
 
             if want_standby:
                 standby_gateway = IModeCenter(
-                    middleware_node, registry, port=IMODE_PORT + 10,
-                    breaker=standby_breaker, origin_timeout=origin_timeout)
+                    middleware_node, registry,
+                    port=gateway.port + standby_offset,
+                    breaker=standby_breaker, origin_timeout=origin_timeout,
+                    batching=res.batch_config(),
+                    batch_stream=standby_batch_stream,
+                    air_pressure=air_pressure)
+                registry.register_service("middleware-standby", gw_address,
+                                          standby_gateway.port)
 
                 def make_standby_session(station):
-                    return IModeSession(station,
-                                        middleware_node.primary_address,
-                                        port=IMODE_PORT + 10)
+                    endpoint = registry.lookup_service("middleware-standby")
+                    return IModeSession(station, endpoint.address,
+                                        port=endpoint.port)
 
         if res is not None:
             make_primary_session = make_session
@@ -457,7 +528,8 @@ class MCSystemBuilder:
         system.resilience = res
         if res is not None:
             host.web_server.enable_load_shedding(
-                backlog=res.shed_backlog, retry_after=res.shed_retry_after)
+                backlog=res.shed_backlog, retry_after=res.shed_retry_after,
+                jitter=res.shed_jitter, stream=seeds.stream("shed-jitter"))
             system.retry_policy = res.retry_policy(
                 seeds.stream("retry-jitter"))
             system.request_timeout = res.request_timeout

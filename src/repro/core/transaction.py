@@ -43,6 +43,10 @@ class TransactionRecord:
     bytes_received: int = 0
     render_seconds: float = 0.0
     retries: int = 0
+    # 503 responses observed across all attempts: admission control
+    # (gateway watermark or web-server shedding) rejected the request.
+    # Lets benchmarks split "shed by design" from other failures.
+    shed_503s: int = 0
     steps: list[str] = field(default_factory=list)
     # Id of this transaction's root span when a tracer was installed.
     trace_id: Optional[int] = None
@@ -122,6 +126,8 @@ class TransactionContext:
                 continue
             if (policy is not None and attempt < attempts
                     and policy.retryable_status(response.status)):
+                if response.status == 503:
+                    self.record.shed_503s += 1
                 delay = policy.backoff(attempt)
                 hint = getattr(response, "meta", {}).get("retry_after")
                 if hint is not None:
@@ -138,6 +144,8 @@ class TransactionContext:
 
     def _account(self, path: str, response: MiddlewareResponse) -> None:
         self.record.requests += 1
+        if response.status == 503:
+            self.record.shed_503s += 1
         self.record.bytes_received += len(response.body)
         self.record.steps.append(
             f"{path} -> {response.status} ({len(response.body)}B)"

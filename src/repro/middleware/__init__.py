@@ -9,9 +9,12 @@ from .adaptation import (
     strip_tags,
 )
 from .base import (
+    BatchConfig,
     FrameReader,
+    RequestBatcher,
     decode_obj,
     encode_obj,
+    frame_reply,
     MiddlewareResponse,
     MiddlewareSession,
     RequestTimeout,
@@ -47,6 +50,9 @@ __all__ = [
     "html_to_wml",
     "personalize",
     "strip_tags",
+    "BatchConfig",
+    "RequestBatcher",
+    "frame_reply",
     "FrameReader",
     "MiddlewareResponse",
     "MiddlewareSession",

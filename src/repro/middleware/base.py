@@ -14,15 +14,17 @@ from __future__ import annotations
 import base64
 import json
 import struct
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Callable, Deque, Optional
 from urllib.parse import urlsplit
 
-from ..sim import Event
+from ..sim import Counter, Event, Interrupt, SimulationError
 
 __all__ = ["RequestTimeout", "MiddlewareResponse", "MiddlewareSession",
            "guard_timeout", "split_url", "encode_frame", "encode_obj",
-           "decode_obj", "FrameReader"]
+           "decode_obj", "FrameReader", "BatchConfig", "RequestBatcher",
+           "frame_reply"]
 
 
 class RequestTimeout(Exception):
@@ -178,3 +180,218 @@ class FrameReader:
                 for key, value in raw.items()
             })
         return frames
+
+
+# ------------------------------------------------- batching + admission
+def frame_reply(status: int, message: str,
+                retry_after: Optional[float] = None) -> dict:
+    """A gateway-originated frame reply (WAP/Palm wire shape)."""
+    meta = {} if retry_after is None else {"retry_after": retry_after}
+    return {"status": status, "content_type": "text/plain",
+            "body": message.encode(), "meta": meta}
+
+
+@dataclass(frozen=True)
+class BatchConfig:
+    """Tuning for :class:`RequestBatcher` (DESIGN.md §13).
+
+    ``window``/``max_batch`` bound the accumulate-and-flush loop: at
+    most one flush per ``window`` virtual seconds, at most ``max_batch``
+    requests per flush, so the gateway's sustained service rate is
+    ``max_batch / window`` requests per second regardless of how many
+    subscribers are connected.  ``per_item_cost`` is the virtual CPU
+    cost charged per batched request, pipelined inside the flush (each
+    item starts one cost after the previous, so same-flush handlers
+    never resume in one kernel batch, where their order would be
+    observable).
+
+    ``watermark`` is the admission-control knob: once that many
+    requests are queued, new arrivals are shed immediately with a 503
+    whose Retry-After reserves the next free *future* service slot
+    (``reserve_factor * window / max_batch`` seconds apart, never
+    sooner than ``retry_floor``), so shed clients trickle back at the
+    rate the gateway drains instead of re-stampeding in lockstep.
+    ``reserve_factor > 1`` deliberately over-spaces reservations,
+    leaving slack for fresh arrivals between returning shed clients.
+    ``jitter`` spreads the hints (fraction of the hint, needs a seeded
+    stream).  ``watermark=0`` disables shedding; everything queues.
+
+    ``pressure_threshold`` composes an *upstream* congestion signal
+    into the same shed decision: when the batcher's ``pressure()``
+    callable (e.g. the cell's shared-airtime backlog) reports at least
+    this many waiters, new arrivals are shed exactly as if the queue
+    were over the watermark.  ``0`` disables the pressure gate.
+    """
+
+    window: float = 0.05
+    max_batch: int = 8
+    watermark: int = 0
+    retry_floor: float = 0.25
+    jitter: float = 0.2
+    per_item_cost: float = 0.0
+    reserve_factor: float = 1.0
+    pressure_threshold: int = 0
+
+    def __post_init__(self):
+        if self.window < 0:
+            raise ValueError(f"window must be >= 0, got {self.window}")
+        if self.max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {self.max_batch}")
+        if self.watermark < 0:
+            raise ValueError(f"watermark must be >= 0, got {self.watermark}")
+        if self.retry_floor < 0:
+            raise ValueError(
+                f"retry_floor must be >= 0, got {self.retry_floor}")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError(f"jitter must be in [0, 1), got {self.jitter}")
+        if self.per_item_cost < 0:
+            raise ValueError(
+                f"per_item_cost must be >= 0, got {self.per_item_cost}")
+        if self.reserve_factor < 1.0:
+            raise ValueError(
+                f"reserve_factor must be >= 1, got {self.reserve_factor}")
+        if self.pressure_threshold < 0:
+            raise ValueError(
+                f"pressure_threshold must be >= 0, "
+                f"got {self.pressure_threshold}")
+
+    @property
+    def drain_gap(self) -> float:
+        """Virtual seconds one shed reservation advances the pointer."""
+        return self.reserve_factor * self.window / self.max_batch
+
+
+class RequestBatcher:
+    """Accumulate-and-flush front end for a gateway request handler.
+
+    Serve loops call :meth:`submit` instead of invoking the handler
+    inline and yield the returned event for the reply.  One flush
+    process drains the queue in paced batches (see :class:`BatchConfig`)
+    and spawns the handler per admitted request, so middleware occupancy
+    is bounded by the batch size rather than scaling with concurrent
+    subscribers.  ``handler(request, parent=...)`` is the gateway's
+    usual per-request generator; ``reply_factory(status, message,
+    retry_after)`` builds protocol-shaped shed/error replies.
+
+    Everything runs on the sim clock with seeded jitter only, so
+    batched runs stay byte-identical under the determinism guards.
+    """
+
+    def __init__(self, sim, config: BatchConfig,
+                 handler: Callable, reply_factory: Callable,
+                 stream=None, stats: Optional[Counter] = None,
+                 name: str = "gw-batcher",
+                 pressure: Optional[Callable[[], int]] = None):
+        self.sim = sim
+        self.config = config
+        self.handler = handler
+        self.reply_factory = reply_factory
+        self.stream = stream
+        # Upstream congestion probe (RAN backpressure); consulted per
+        # submit when the config sets a pressure_threshold.
+        self.pressure = pressure
+        self.stats = stats if stats is not None else Counter()
+        self._queue: Deque[tuple] = deque()
+        self._wakeup: Optional[Event] = None
+        self._last_flush: Optional[float] = None
+        # Virtual-FIFO reservation pointer for shed Retry-After hints:
+        # each shed claims the next future service slot, so hints grow
+        # with (virtual) queue depth and returns arrive spread out.
+        self._next_slot = 0.0
+        sim.spawn(self._flush_loop(), name=name)
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._queue)
+
+    def submit(self, request, parent=None) -> Event:
+        """Enqueue (or shed) a request; event yields the reply."""
+        done = self.sim.event()
+        cfg = self.config
+        if cfg.watermark and len(self._queue) >= cfg.watermark:
+            self.stats.incr("admission_sheds")
+            done.succeed(self.reply_factory(
+                503, "gateway overloaded", self._reserve_slot()))
+            return done
+        if (cfg.pressure_threshold and self.pressure is not None
+                and self.pressure() >= cfg.pressure_threshold):
+            # RAN backpressure: the radio is already backlogged, so a
+            # reply would queue behind the very congestion the client
+            # is suffering.  Park the client on a reservation instead.
+            self.stats.incr("pressure_sheds")
+            done.succeed(self.reply_factory(
+                503, "air interface congested", self._reserve_slot()))
+            return done
+        self._queue.append((request, parent, done))
+        if self._wakeup is not None and not self._wakeup.triggered:
+            self._wakeup.succeed(None)
+        return done
+
+    def reject_pending(self, message: str = "gateway unavailable") -> None:
+        """Fail-fast every queued request (crash hook): waiting serve
+        loops wake with a 503 instead of blocking forever."""
+        while self._queue:
+            _request, _parent, done = self._queue.popleft()
+            if not done.triggered:
+                done.succeed(self.reply_factory(
+                    503, message, self.config.retry_floor))
+
+    def _reserve_slot(self) -> float:
+        cfg = self.config
+        now = self.sim.now
+        base = max(self._next_slot, now + cfg.retry_floor)
+        self._next_slot = base + cfg.drain_gap
+        hint = base - now
+        if self.stream is not None and cfg.jitter > 0:
+            hint *= 1.0 + cfg.jitter * (2.0 * self.stream.random() - 1.0)
+        return round(hint, 6)
+
+    def _flush_loop(self):
+        sim = self.sim
+        cfg = self.config
+        while True:
+            if not self._queue:
+                self._wakeup = sim.event()
+                yield self._wakeup
+                self._wakeup = None
+            if cfg.window > 0 and self._last_flush is not None:
+                wait = self._last_flush + cfg.window - sim.now
+                if wait > 0:
+                    yield sim.timeout(wait)
+            batch = [self._queue.popleft()
+                     for _ in range(min(cfg.max_batch, len(self._queue)))]
+            if not batch:
+                # Drained while pacing (crash hook): nothing to flush.
+                continue
+            self._last_flush = sim.now
+            self.stats.incr("batches")
+            self.stats.incr("batched_requests", len(batch))
+            for request, parent, done in batch:
+                if cfg.per_item_cost > 0:
+                    # Pipeline the per-item cost: consecutive items
+                    # start one cost apart, never in the same kernel
+                    # batch — two handlers resuming at one timestamp
+                    # both write the gateway counters, and the
+                    # commutativity sanitizer proves that order leaks
+                    # into the report (flush counts diverge on flip).
+                    yield sim.timeout(cfg.per_item_cost)
+                sim.spawn(self._run_item(request, parent, done),
+                          name="gw-batch-item")
+
+    def _run_item(self, request, parent, done):
+        try:
+            reply = yield from self.handler(request, parent=parent)
+        except (Interrupt, SimulationError):
+            # Kernel control flow: settle the waiter, then propagate.
+            if not done.triggered:
+                done.succeed(self.reply_factory(
+                    503, "gateway interrupted", self.config.retry_floor))
+            raise
+        except Exception as exc:  # repro: noqa[broad-except] batch barrier
+            # The serve loop must never hang on a reply that will not
+            # come; handler bugs become a 500, matching the CGI barrier.
+            self.stats.incr("batch_item_errors")
+            reply = self.reply_factory(
+                500, f"{type(exc).__name__}: {exc}", None)
+        if not done.triggered:
+            done.succeed(reply)

@@ -26,12 +26,14 @@ from ..net.node import Node
 from ..net.tcp import TCPConnection, TCPStack, tcp_stack
 from ..obs import ctx_of, end_span, start_span
 from ..opt import OPTIMIZATIONS
-from ..sim import Counter, Event, Interrupt
+from ..sim import Counter, Event, Interrupt, RandomStream
 from ..web.client import HTTPClient
 from ..web.http import HTTPRequest, HTTPResponse, RequestParser, ResponseParser
 from .base import (
+    BatchConfig,
     MiddlewareResponse,
     MiddlewareSession,
+    RequestBatcher,
     guard_timeout,
     split_url,
 )
@@ -41,6 +43,15 @@ __all__ = ["IModeCenter", "IModeSession", "IMODE_PORT"]
 
 IMODE_PORT = 8700
 ADAPTATION_TIME_PER_KB = 0.000_5  # tag stripping is cheap
+
+
+def _http_reply(status: int, message: str,
+                retry_after: Optional[float] = None) -> HTTPResponse:
+    """Centre-originated shed/error reply (HTTP wire shape)."""
+    headers = {"content-type": "text/plain"}
+    if retry_after is not None:
+        headers["retry-after"] = f"{retry_after:g}"
+    return HTTPResponse(status, headers, message)
 
 
 class IModeCenter:
@@ -53,7 +64,10 @@ class IModeCenter:
 
     def __init__(self, node: Node, registry: NameRegistry,
                  port: int = IMODE_PORT, tcp: Optional[TCPStack] = None,
-                 breaker=None, origin_timeout: float = 30.0):
+                 breaker=None, origin_timeout: float = 30.0,
+                 batching: Optional[BatchConfig] = None,
+                 batch_stream: Optional[RandomStream] = None,
+                 air_pressure=None):
         self.node = node
         self.sim = node.sim
         self.registry = registry
@@ -70,6 +84,15 @@ class IModeCenter:
         # Flushed on crash and restart (cold cache after reboot).
         self._adaptations: dict[bytes, tuple] = {}
         self.adaptation_cache_hits = 0
+        # Optional accumulate-and-flush batching + admission control
+        # (None keeps the legacy inline path bit-for-bit).
+        self.batcher = None
+        if batching is not None:
+            self.batcher = RequestBatcher(
+                self.sim, batching, handler=self._proxy,
+                reply_factory=_http_reply, stream=batch_stream,
+                stats=self.stats, name=f"imode-batch@{node.name}",
+                pressure=air_pressure)
         self.is_down = False
         self._conns: list[TCPConnection] = []
         self._listener = self.tcp.listen(port)
@@ -82,6 +105,8 @@ class IModeCenter:
         self.is_down = True
         self.stats.incr("crashes")
         self._adaptations.clear()
+        if self.batcher is not None:
+            self.batcher.reject_pending("centre crashed")
         for conn in self._conns:
             conn.close()
         self._conns.clear()
@@ -113,8 +138,12 @@ class IModeCenter:
                 return
             for request in parser.feed(chunk):
                 # conn.trace arrives as packet metadata via TCP.
-                response = yield from self._proxy(request,
-                                                  parent=conn.trace)
+                if self.batcher is not None:
+                    response = yield self.batcher.submit(request,
+                                                         parent=conn.trace)
+                else:
+                    response = yield from self._proxy(request,
+                                                      parent=conn.trace)
                 if self.is_down or \
                         conn.state not in (TCPConnection.ESTABLISHED,
                                            TCPConnection.CLOSE_WAIT):

@@ -25,14 +25,17 @@ from ..net.node import Node
 from ..net.tcp import TCPConnection, TCPStack, tcp_stack
 from ..obs import ctx_of, end_span, start_span
 from ..opt import OPTIMIZATIONS
-from ..sim import Counter, Event, Interrupt, Resource
+from ..sim import Counter, Event, Interrupt, RandomStream, Resource
 from ..web.client import HTTPClient
 from .adaptation import extract_title, strip_tags
 from .base import (
+    BatchConfig,
     FrameReader,
     MiddlewareResponse,
     MiddlewareSession,
+    RequestBatcher,
     encode_frame,
+    frame_reply,
     guard_timeout,
     split_url,
 )
@@ -57,7 +60,10 @@ class WebClippingProxy:
                  port: int = CLIPPING_PORT,
                  byte_limit: int = CLIPPING_BYTE_LIMIT,
                  tcp: Optional[TCPStack] = None,
-                 breaker=None, origin_timeout: float = 30.0):
+                 breaker=None, origin_timeout: float = 30.0,
+                 batching: Optional[BatchConfig] = None,
+                 batch_stream: Optional[RandomStream] = None,
+                 air_pressure=None):
         self.node = node
         self.sim = node.sim
         self.registry = registry
@@ -75,6 +81,15 @@ class WebClippingProxy:
         # crash and restart (cold cache after reboot).
         self._clippings: dict[bytes, tuple] = {}
         self.clipping_cache_hits = 0
+        # Optional accumulate-and-flush batching + admission control
+        # (None keeps the legacy inline path bit-for-bit).
+        self.batcher = None
+        if batching is not None:
+            self.batcher = RequestBatcher(
+                self.sim, batching, handler=self._handle,
+                reply_factory=frame_reply, stream=batch_stream,
+                stats=self.stats, name=f"clip-batch@{node.name}",
+                pressure=air_pressure)
         self.is_down = False
         self._conns: list[TCPConnection] = []
         self._listener = self.tcp.listen(port)
@@ -91,6 +106,8 @@ class WebClippingProxy:
         self.is_down = True
         self.stats.incr("crashes")
         self._clippings.clear()
+        if self.batcher is not None:
+            self.batcher.reject_pending("proxy crashed")
         for conn in self._conns:
             conn.close()
         self._conns.clear()
@@ -122,8 +139,12 @@ class WebClippingProxy:
                 return
             for request in reader.feed(chunk):
                 # conn.trace arrives as packet metadata via TCP.
-                reply = yield from self._handle(request,
-                                                parent=conn.trace)
+                if self.batcher is not None:
+                    reply = yield self.batcher.submit(request,
+                                                      parent=conn.trace)
+                else:
+                    reply = yield from self._handle(request,
+                                                    parent=conn.trace)
                 if self.is_down or \
                         conn.state not in (TCPConnection.ESTABLISHED,
                                            TCPConnection.CLOSE_WAIT):

@@ -34,12 +34,15 @@ from ..sim import Counter, Event, Interrupt, RandomStream
 from ..web.client import HTTPClient
 from .adaptation import html_to_wml
 from .base import (
+    BatchConfig,
     FrameReader,
     MiddlewareResponse,
     MiddlewareSession,
+    RequestBatcher,
     decode_obj,
     encode_frame,
     encode_obj,
+    frame_reply,
     guard_timeout,
     split_url,
 )
@@ -65,11 +68,15 @@ class WAPGateway:
                  entropy: Optional[RandomStream] = None,
                  wtls_port: int = WTLS_PORT,
                  cache_ttl: float = 0.0,
-                 breaker=None, origin_timeout: float = 30.0):
+                 breaker=None, origin_timeout: float = 30.0,
+                 batching: Optional[BatchConfig] = None,
+                 batch_stream: Optional[RandomStream] = None,
+                 air_pressure=None):
         self.node = node
         self.sim = node.sim
         self.registry = registry
         self.port = port
+        self.wtls_port = wtls_port
         self.tcp = tcp or tcp_stack(node)
         self.http = HTTPClient(node, tcp=self.tcp)
         self.entropy = entropy
@@ -89,6 +96,16 @@ class WAPGateway:
         self._translations: dict[tuple, tuple] = {}
         self.translation_cache_hits = 0
         self.stats = Counter()
+        # Optional accumulate-and-flush batching + admission control:
+        # serve loops route requests through the batcher when present
+        # (None keeps the legacy inline path bit-for-bit).
+        self.batcher = None
+        if batching is not None:
+            self.batcher = RequestBatcher(
+                self.sim, batching, handler=self._handle,
+                reply_factory=frame_reply, stream=batch_stream,
+                stats=self.stats, name=f"wap-batch@{node.name}",
+                pressure=air_pressure)
         self.is_down = False
         self._conns: list[TCPConnection] = []
         self._listener = self.tcp.listen(port)
@@ -109,6 +126,8 @@ class WAPGateway:
         self.is_down = True
         self.stats.incr("crashes")
         self._translations.clear()
+        if self.batcher is not None:
+            self.batcher.reject_pending("gateway crashed")
         for conn in self._conns:
             conn.close()
         self._conns.clear()
@@ -158,8 +177,13 @@ class WAPGateway:
             if record == b"":
                 self._forget(conn)
                 return
-            reply = yield from self._handle(decode_obj(record),
-                                            parent=conn.trace)
+            request = decode_obj(record)
+            if self.batcher is not None:
+                reply = yield self.batcher.submit(request,
+                                                  parent=conn.trace)
+            else:
+                reply = yield from self._handle(request,
+                                                parent=conn.trace)
             if self.is_down or \
                     conn.state not in (TCPConnection.ESTABLISHED,
                                        TCPConnection.CLOSE_WAIT):
@@ -177,8 +201,12 @@ class WAPGateway:
                 return
             for request in reader.feed(chunk):
                 # conn.trace arrives as packet metadata via TCP.
-                reply = yield from self._handle(request,
-                                                parent=conn.trace)
+                if self.batcher is not None:
+                    reply = yield self.batcher.submit(request,
+                                                      parent=conn.trace)
+                else:
+                    reply = yield from self._handle(request,
+                                                    parent=conn.trace)
                 if self.is_down or \
                         conn.state not in (TCPConnection.ESTABLISHED,
                                            TCPConnection.CLOSE_WAIT):

@@ -6,7 +6,7 @@ machinery that the mobile extensions in :mod:`repro.net.mobile` modify.
 """
 
 from .addressing import AddressAllocator, IPAddress, Subnet
-from .dns import DNS_PORT, DNSResolver, DNSServer, NameRegistry
+from .dns import DNS_PORT, DNSResolver, DNSServer, NameRegistry, ServiceEndpoint
 from .ip import EchoReply, install_echo_responder, ping
 from .link import Link
 from .node import Interface, Network, Node
@@ -23,6 +23,7 @@ __all__ = [
     "DNSResolver",
     "DNSServer",
     "NameRegistry",
+    "ServiceEndpoint",
     "EchoReply",
     "install_echo_responder",
     "ping",

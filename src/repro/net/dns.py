@@ -9,6 +9,7 @@ gateway requests pay.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Optional
 
 from ..opt import OPTIMIZATIONS
@@ -17,13 +18,21 @@ from .addressing import IPAddress
 from .node import Node
 from .udp import UDPStack
 
-__all__ = ["NameRegistry", "DNSServer", "DNSResolver", "DNS_PORT",
-           "DEFAULT_DNS_TTL"]
+__all__ = ["NameRegistry", "DNSServer", "DNSResolver", "ServiceEndpoint",
+           "DNS_PORT", "DEFAULT_DNS_TTL"]
 
 DNS_PORT = 53
 
 # How long a resolver may serve a cached answer without revalidating.
 DEFAULT_DNS_TTL = 30.0
+
+
+@dataclass(frozen=True)
+class ServiceEndpoint:
+    """A named service's published (address, port) — SRV-record style."""
+
+    address: IPAddress
+    port: int
 
 
 class NameRegistry:
@@ -38,6 +47,7 @@ class NameRegistry:
 
     def __init__(self):
         self._records: dict[str, IPAddress] = {}
+        self._services: dict[str, ServiceEndpoint] = {}
         self.generation = 0
 
     def register(self, name: str, address: IPAddress) -> None:
@@ -51,6 +61,27 @@ class NameRegistry:
 
     def unregister(self, name: str) -> None:
         if self._records.pop(name.lower(), None) is not None:
+            self.generation += 1
+
+    # -- service (SRV-style) records ------------------------------------
+    def register_service(self, name: str, address: IPAddress,
+                         port: int) -> None:
+        """Publish a named service endpoint (address *and* port).
+
+        Topology builders register gateways here so clients derive
+        endpoints — e.g. the standby gateway for failover — from the
+        registry instead of hardcoding port arithmetic.
+        """
+        if not name:
+            raise ValueError("empty service name")
+        self._services[name.lower()] = ServiceEndpoint(address, int(port))
+        self.generation += 1
+
+    def lookup_service(self, name: str) -> Optional[ServiceEndpoint]:
+        return self._services.get(name.lower())
+
+    def unregister_service(self, name: str) -> None:
+        if self._services.pop(name.lower(), None) is not None:
             self.generation += 1
 
     def __len__(self) -> int:

@@ -22,10 +22,17 @@ from .baseline import (
     baselines_for,
 )
 from .determinism import determinism_check, scheduler_check
-from .loadgen import bench_json, run_bench, sweep_bench
+from .loadgen import (
+    bench_json,
+    bench_resilience,
+    check_capacity_curve,
+    run_bench,
+    sweep_bench,
+)
 from .report import full_bench, report_to_json
 
-__all__ = ["run_bench", "sweep_bench", "bench_json", "determinism_check",
+__all__ = ["run_bench", "sweep_bench", "bench_json", "bench_resilience",
+           "check_capacity_curve", "determinism_check",
            "scheduler_check", "full_bench", "report_to_json",
            "PRE_OPTIMIZATION_BASELINE", "PRE_CALENDAR_BASELINE",
            "BASELINES", "baseline_for", "baselines_for"]

@@ -125,12 +125,52 @@ class ResilienceConfig:
     # deadline so the breaker learns about dead origins quickly).
     origin_timeout: float = 3.0
     # Web-server admission control: extra queued requests tolerated on
-    # top of the busy worker pool before shedding with 503.
+    # top of the busy worker pool before shedding with 503.  The shed
+    # Retry-After scales with queue depth and is spread by seeded
+    # jitter so shed clients do not re-stampede in lockstep.
     shed_backlog: int = 16
     shed_retry_after: float = 1.0
+    shed_jitter: float = 0.2
     # Graceful degradation.
     standby_gateway: bool = True
     direct_fallback: bool = True
+    # The standby gateway listens this many ports above the primary
+    # (its endpoint is derived from the primary's actual port and
+    # published in the name registry, never hardcoded).
+    standby_port_offset: int = 10
+    # Gateway-side batching + admission control (DESIGN.md §13).  Off
+    # by default: the chaos suite exercises failover without capacity
+    # shaping; the load benchmark turns it on via
+    # ``repro.perf.loadgen.bench_resilience``.
+    gateway_batching: bool = False
+    batch_window: float = 0.05
+    batch_max: int = 8
+    batch_item_cost: float = 0.0
+    admission_watermark: int = 0
+    admission_retry_floor: float = 0.25
+    admission_jitter: float = 0.2
+    # Reservation over-spacing: >1 leaves service slots free between
+    # returning shed clients for fresh arrivals.
+    admission_reserve_factor: float = 1.0
+    # RAN backpressure: shed new work at the gateway while this many
+    # transmitters are queued for the cell's shared airtime (0 = off).
+    air_pressure_threshold: int = 0
+
+    def batch_config(self):
+        """BatchConfig for one gateway, or None when batching is off."""
+        if not self.gateway_batching:
+            return None
+        from ..middleware.base import BatchConfig
+        return BatchConfig(
+            window=self.batch_window,
+            max_batch=self.batch_max,
+            per_item_cost=self.batch_item_cost,
+            watermark=self.admission_watermark,
+            retry_floor=self.admission_retry_floor,
+            jitter=self.admission_jitter,
+            reserve_factor=self.admission_reserve_factor,
+            pressure_threshold=self.air_pressure_threshold,
+        )
 
     def retry_policy(self, stream=None):
         from .retry import RetryPolicy

@@ -72,6 +72,8 @@ class WebServer:
         # instead of waiting unboundedly.
         self._shed_backlog: Optional[int] = None
         self._shed_retry_after = 1.0
+        self._shed_jitter = 0.0
+        self._shed_stream = None
         self.is_down = False
         self._conns: list[TCPConnection] = []
         self._listener = self.tcp.listen(port)
@@ -114,13 +116,35 @@ class WebServer:
 
     # -- resilience knobs ---------------------------------------------------
     def enable_load_shedding(self, backlog: int = 16,
-                             retry_after: float = 1.0) -> None:
+                             retry_after: float = 1.0,
+                             jitter: float = 0.0, stream=None) -> None:
         """Shed requests with 503 + Retry-After once ``backlog`` callers
-        are already queued behind a saturated worker pool."""
+        are already queued behind a saturated worker pool.
+
+        ``retry_after`` is the base hint; the actual header scales with
+        the live worker-queue depth (a deeper queue tells clients to
+        stay away longer) and, when ``jitter`` > 0 and a seeded
+        ``stream`` is supplied, is spread by ±``jitter`` so shed
+        clients do not retry in lockstep and re-stampede.
+        """
         if backlog < 0:
             raise ValueError(f"backlog must be >= 0, got {backlog}")
+        if not 0.0 <= jitter < 1.0:
+            raise ValueError(f"jitter must be in [0, 1), got {jitter}")
         self._shed_backlog = backlog
         self._shed_retry_after = retry_after
+        self._shed_jitter = jitter
+        self._shed_stream = stream
+
+    def _shed_hint(self) -> float:
+        """Depth-proportional Retry-After for a shed response."""
+        depth = self.workers.queue_length
+        hint = self._shed_retry_after * (
+            1.0 + depth / (self._shed_backlog + 1.0))
+        if self._shed_stream is not None and self._shed_jitter > 0:
+            hint *= 1.0 + self._shed_jitter * (
+                2.0 * self._shed_stream.random() - 1.0)
+        return round(hint, 6)
 
     def crash(self) -> None:
         """Hard-stop the server: drop live connections, refuse new ones."""
@@ -189,7 +213,7 @@ class WebServer:
                     response = HTTPResponse(
                         503,
                         {"content-type": "text/plain",
-                         "retry-after": f"{self._shed_retry_after:g}"},
+                         "retry-after": f"{self._shed_hint():g}"},
                         b"server overloaded",
                     )
                 else:

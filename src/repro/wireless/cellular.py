@@ -114,6 +114,21 @@ class BaseStation(Mobile):
     def name(self) -> str:
         return self.router.name
 
+    def air_backlog(self) -> int:
+        """Transmitters currently waiting for a shared-airtime grant.
+
+        The RAN-side congestion signal: every subscriber (and the cell
+        router itself) with a frame pending on the shared packet
+        channel counts as one waiter.  Operator middleware uses this
+        the way a GPRS BSC flow-controls the gateway — shed new work
+        at the wired edge while the radio is backlogged, because bytes
+        queued behind a saturated cell are already lost time.  Always
+        0 for circuit-switched (voice-only) cells.
+        """
+        if self.shared_airtime is None:
+            return 0
+        return self.shared_airtime.queue_length
+
     def covers(self, position: Position) -> bool:
         return (self.position.distance_to(position)
                 <= self.standard.typical_cell_radius_m)
