@@ -230,6 +230,7 @@ def _cmd_chaos(args) -> int:
         middleware=args.middleware,
         bearer=(args.bearer_kind, args.bearer),
         plan=plan,
+        fleet=args.fleet,
     )
     text = report_json(report)
     if args.json:
@@ -239,12 +240,20 @@ def _cmd_chaos(args) -> int:
     else:
         print(text)
     print(f"\n{args.scenario} seed={args.seed} policies={args.policies}: "
-          f"{report['successful']}/{report['completed']} ok "
-          f"(rate {report['success_rate']:.3f}), "
+          f"{report['successful']}/{report['offered']} ok "
+          f"(vs offered {report['success_vs_offered']:.3f}), "
           f"p50 {report['latency']['p50']:.3f}s "
           f"p95 {report['latency']['p95']:.3f}s, "
           f"{report['faults'].get('injected', 0)} faults injected",
           file=sys.stderr)
+    fleet = report.get("fleet")
+    if fleet is not None:
+        line = (f"fleet: {fleet['serving']} serving member(s), "
+                f"{fleet['stranded_sessions']} stranded session(s)")
+        canary = fleet.get("canary")
+        if canary is not None:
+            line += f"; canary {canary['state']}"
+        print(line, file=sys.stderr)
     return 0 if report["success_rate"] > 0 else 1
 
 
@@ -331,7 +340,8 @@ def _cmd_bench(args) -> int:
                         transactions_per_user=args.transactions,
                         horizon=args.horizon,
                         scheduler=args.scheduler,
-                        sweep=sweep)
+                        sweep=sweep,
+                        fleet=args.fleet)
     text = report_to_json(report)
     out_dir = os.path.dirname(os.path.abspath(args.out))
     os.makedirs(out_dir, exist_ok=True)
@@ -341,10 +351,12 @@ def _cmd_bench(args) -> int:
         print(text)
     det = report["determinism"]
     sched = report["scheduler_determinism"]
+    fleet_det = report["fleet_determinism"]
     opt = report["optimized"]
     summary = (
         f"bench users={args.users} seed={args.seed} "
-        f"scheduler={opt['scheduler']}: "
+        + (f"fleet={args.fleet} " if args.fleet else "")
+        + f"scheduler={opt['scheduler']}: "
         f"{opt['measured']['wall_seconds']:.2f}s wall, "
         f"{opt['measured']['events_per_sec']} events/s, "
         f"{opt['measured']['transactions_per_sec']} txn/s; "
@@ -383,6 +395,11 @@ def _cmd_bench(args) -> int:
     if not sched["identical"]:
         failed = [name for name, ok in sched["checks"].items() if not ok]
         failures.append(f"schedulers diverged ({', '.join(failed)})")
+    if not fleet_det["identical"]:
+        failed = [name for name, ok in fleet_det["checks"].items()
+                  if not ok]
+        failures.append(
+            f"fleet wiring changed the results ({', '.join(failed)})")
     if failures:
         for failure in failures:
             print(f"BENCH FAILURE: {failure}", file=sys.stderr)
@@ -392,6 +409,8 @@ def _cmd_bench(args) -> int:
     print("determinism: schedulers "
           f"{'/'.join(sched['schedulers'])} byte-identical "
           f"({', '.join(sched['checks'])})", file=sys.stderr)
+    print("determinism: fleet wiring transparent "
+          f"({', '.join(fleet_det['checks'])})", file=sys.stderr)
     return 0
 
 
@@ -493,14 +512,21 @@ def main(argv=None) -> int:
         "chaos", help="run a deterministic fault-injection scenario")
     chaos.add_argument("scenario", nargs="?", default="storm",
                        help="flaky-radio, gateway-outage, brownout, "
-                            "dns-blackout, or storm")
+                            "dns-blackout, storm, fleet-outage, or "
+                            "canary-regression")
     chaos.add_argument("--seed", type=int, default=0)
     chaos.add_argument("--intensity", type=float, default=0.5,
                        help="fault intensity in [0, 1] (default 0.5)")
     chaos.add_argument("--policies", default="on", choices=["on", "off"],
                        help="resilience policies (retry, breaker, "
                             "failover, shedding)")
-    chaos.add_argument("--stations", type=int, default=3)
+    chaos.add_argument("--stations", type=int, default=None,
+                       help="shopper stations (default: 4, or 12 for "
+                            "fleet scenarios)")
+    chaos.add_argument("--fleet", type=int, default=0,
+                       help="gateway fleet size (0 = scenario default; "
+                            "fleet-outage and canary-regression "
+                            "default to 4)")
     chaos.add_argument("--transactions", type=int, default=8,
                        help="transactions per station")
     chaos.add_argument("--horizon", type=float, default=240.0,
@@ -539,7 +565,8 @@ def main(argv=None) -> int:
     sanitize.add_argument(
         "scenario", nargs="?", default="bench",
         help="bench, flaky-radio, gateway-outage, brownout, "
-             "dns-blackout, storm, or planted-race")
+             "dns-blackout, storm, fleet-outage, canary-regression, "
+             "or planted-race")
     sanitize.add_argument("--seed", type=int, default=7)
     sanitize.add_argument("--users", type=int, default=50,
                           help="bench scenario: concurrent users")
@@ -579,6 +606,10 @@ def main(argv=None) -> int:
     bench.add_argument("--sweep", default=None, metavar="N,N,...",
                        help="also run a goodput-vs-offered-load sweep "
                             "at these user counts (e.g. 50,100,200,500)")
+    bench.add_argument("--fleet", type=int, default=0,
+                       help="run the middleware tier as an N-member "
+                            "gateway fleet behind the consistent-hash "
+                            "balancer (default 0 = single gateway)")
     bench.add_argument("--out", default="BENCH_PERF.json", metavar="PATH",
                        help="where to write the report "
                             "(default: ./BENCH_PERF.json)")

@@ -53,10 +53,12 @@ __all__ = ["SCENARIOS", "run_sanitize", "render_text", "render_json"]
 #: load benchmark, every shipped chaos scenario, and the planted-race
 #: fixture used by tests/CI to prove the detector actually detects.
 SCENARIOS = ("bench", "flaky-radio", "gateway-outage", "brownout",
-             "dns-blackout", "storm", "planted-race")
+             "dns-blackout", "storm", "fleet-outage",
+             "canary-regression", "planted-race")
 
 _CHAOS_SCENARIOS = ("flaky-radio", "gateway-outage", "brownout",
-                    "dns-blackout", "storm")
+                    "dns-blackout", "storm", "fleet-outage",
+                    "canary-regression")
 
 
 # ----------------------------------------------------------- one execution

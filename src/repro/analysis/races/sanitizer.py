@@ -461,6 +461,22 @@ def _shared_roots(system, engine=None) -> Iterable[tuple]:
         if gateway is not None:
             yield label, gateway
             yield f"{label}.stats", getattr(gateway, "stats", None)
+    fleet = getattr(system, "fleet", None)
+    if fleet is not None:
+        yield "fleet", fleet
+        yield "fleet.stats", getattr(fleet, "stats", None)
+        primary = getattr(system, "gateway", None)
+        for name in sorted(fleet.members):
+            member = fleet.members[name]
+            if member.gateway is primary:
+                continue  # member 0 is already wrapped as "gateway"
+            yield f"fleet[{name}]", member.gateway
+            yield f"fleet[{name}].stats", member.gateway.stats
+    for label in ("balancer", "health_monitor", "autoscaler", "canary"):
+        component = getattr(system, label, None)
+        if component is not None:
+            yield label, component
+            yield f"{label}.stats", getattr(component, "stats", None)
     for index, app in enumerate(getattr(system, "applications", ())):
         yield f"app[{index}]", app
     if engine is not None:

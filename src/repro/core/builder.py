@@ -35,6 +35,7 @@ from ..middleware import (
     WTLS_PORT,
 )
 from ..net import AddressAllocator, NameRegistry, Network, Node, Subnet
+from ..obs import MetricsRegistry
 from ..resilience import ResilienceConfig, ResilientSession
 from ..security import PaymentProcessor, TokenIssuer, UserStore
 from ..sim import SeedBank, Simulator
@@ -151,6 +152,15 @@ class MCSystem(_BaseSystem):
         self.resilience: Optional[ResilienceConfig] = None
         self.retry_policy = None
         self.request_timeout: Optional[float] = None
+        # Observability + fleet control plane (populated by the
+        # builder; all None/empty for the classic single-gateway
+        # topology except ``metrics``, which always exists).
+        self.metrics = None
+        self.fleet = None
+        self.balancer = None
+        self.health_monitor = None
+        self.autoscaler = None
+        self.canary = None
 
     def add_station(self, device_name: str,
                     position: Position = Position(10.0, 0.0),
@@ -282,12 +292,181 @@ class MCSystemBuilder:
         # registry, so failover survives non-default layouts.
         self.middleware_port = middleware_port
 
+    def _build_fleet_middleware(self, sim, seeds, registry,
+                                middleware_node, res, cells,
+                                metrics) -> dict:
+        """Gateway fleet tier: pool + balancer + monitors (DESIGN §14).
+
+        Member 0 reuses the classic port, seed-stream names and the
+        ``middleware`` service name, so a fleet of one is byte-for-byte
+        the single-gateway topology; the monitors (health, autoscale,
+        canary) only spawn once there is an actual fleet to manage.
+        """
+        from ..fleet import (
+            AutoScaler,
+            CanaryController,
+            GatewayFleet,
+            HealthMonitor,
+            LoadBalancer,
+        )
+
+        kind = self.middleware
+        if kind == "WAP":
+            base_port = self.middleware_port or WSP_PORT
+        elif kind == "Palm":
+            base_port = self.middleware_port or CLIPPING_PORT
+        else:
+            base_port = self.middleware_port or IMODE_PORT
+        gw_address = middleware_node.primary_address
+        secure = self.secure_wap
+
+        def member_pressure(cell_index: int):
+            if not cells:
+                return None  # WLAN: no shared-airtime backlog probe
+            return cells[cell_index % len(cells)].air_backlog
+
+        def make_gateway(index, port, version, handicap, cell_index):
+            suffix = "" if index == 0 else f"-m{index}"
+            service = "middleware" if index == 0 else f"middleware-m{index}"
+            breaker = (res.breaker(sim, name=f"{kind}-origin{suffix}")
+                       if res.breaker_threshold > 0 else None)
+            member_batch = res.batch_config()
+            member_stream = (seeds.stream(f"gateway-admission{suffix}")
+                             if member_batch is not None else None)
+            pressure = member_pressure(cell_index)
+            metric_name = f"gateway.gw-{index}"
+            if kind == "WAP":
+                gateway = WAPGateway(
+                    middleware_node, registry, port=port,
+                    wtls_port=port + (WTLS_PORT - WSP_PORT),
+                    entropy=seeds.stream(f"wtls-gateway{suffix}"),
+                    breaker=breaker, origin_timeout=res.origin_timeout,
+                    batching=member_batch, batch_stream=member_stream,
+                    air_pressure=pressure, handicap=handicap,
+                    metrics=metrics, metric_name=metric_name)
+                registry.register_service(service, gw_address,
+                                          gateway.port)
+                registry.register_service(f"{service}-wtls", gw_address,
+                                          gateway.wtls_port)
+
+                def make_member_session(station, _service=service,
+                                        _index=index):
+                    if secure:
+                        endpoint = registry.lookup_service(
+                            f"{_service}-wtls")
+                        stream_name = (
+                            f"wtls-{station.name}" if _index == 0
+                            else f"wtls-m{_index}-{station.name}")
+                        return WAPSession(
+                            station, endpoint.address, port=endpoint.port,
+                            secure=True,
+                            entropy=seeds.stream(stream_name))
+                    endpoint = registry.lookup_service(_service)
+                    return WAPSession(station, endpoint.address,
+                                      port=endpoint.port)
+            elif kind == "Palm":
+                gateway = WebClippingProxy(
+                    middleware_node, registry, port=port,
+                    breaker=breaker, origin_timeout=res.origin_timeout,
+                    batching=member_batch, batch_stream=member_stream,
+                    air_pressure=pressure, handicap=handicap,
+                    metrics=metrics, metric_name=metric_name)
+                registry.register_service(service, gw_address,
+                                          gateway.port)
+
+                def make_member_session(station, _service=service):
+                    endpoint = registry.lookup_service(_service)
+                    return PalmSession(station, endpoint.address,
+                                       port=endpoint.port)
+            else:
+                gateway = IModeCenter(
+                    middleware_node, registry, port=port,
+                    breaker=breaker, origin_timeout=res.origin_timeout,
+                    batching=member_batch, batch_stream=member_stream,
+                    air_pressure=pressure, handicap=handicap,
+                    metrics=metrics, metric_name=metric_name)
+                registry.register_service(service, gw_address,
+                                          gateway.port)
+
+                def make_member_session(station, _service=service):
+                    endpoint = registry.lookup_service(_service)
+                    return IModeSession(station, endpoint.address,
+                                        port=endpoint.port)
+            return gateway, make_member_session
+
+        fleet = GatewayFleet(sim, make_gateway, base_port=base_port,
+                             port_stride=res.fleet_port_stride,
+                             virtual_nodes=res.fleet_virtual_nodes,
+                             n_cells=max(1, len(cells)))
+        for _ in range(res.fleet_size):
+            fleet.add_member()
+
+        direct_factory = None
+        if res.direct_fallback:
+            def direct_factory(station):
+                return DirectHTTPSession(station, registry)
+        balancer = LoadBalancer(
+            sim, fleet, direct_factory=direct_factory,
+            sample_window=max(120.0, 4 * res.canary_window))
+
+        def make_session(station: MobileStation) -> MiddlewareSession:
+            return ResilientSession(balancer.provider(station),
+                                    timeout=res.request_timeout,
+                                    observer=balancer.observe, sim=sim)
+
+        health = autoscaler = canary = None
+        if res.fleet_size >= 2:
+            health = HealthMonitor(
+                sim, fleet, interval=res.health_interval,
+                timeout=res.health_timeout,
+                unhealthy_threshold=res.unhealthy_threshold,
+                recovery_threshold=res.recovery_threshold,
+                metrics=metrics)
+            health.start()
+        if res.autoscale:
+            autoscaler = AutoScaler(
+                sim, fleet, metrics,
+                high_watermark=res.autoscale_high_watermark,
+                low_watermark=res.autoscale_low_watermark,
+                min_members=res.autoscale_min_members,
+                max_members=res.autoscale_max_members,
+                cooldown=res.autoscale_cooldown,
+                interval=res.autoscale_interval)
+            autoscaler.start()
+        if res.canary_fraction > 0:
+            canary = CanaryController(
+                sim, fleet, balancer, fraction=res.canary_fraction,
+                deploy_at=res.canary_deploy_at,
+                handicap=res.canary_handicap,
+                window=res.canary_window,
+                min_samples=res.canary_min_samples,
+                p95_ratio=res.canary_p95_ratio,
+                success_delta=res.canary_success_delta,
+                violations=res.canary_violations,
+                healthy_windows=res.canary_healthy_windows)
+            canary.start()
+
+        return {
+            "gateway": fleet.members["gw-0"].gateway,
+            "make_session": make_session,
+            "fleet": fleet,
+            "balancer": balancer,
+            "health": health,
+            "autoscaler": autoscaler,
+            "canary": canary,
+        }
+
     def build(self) -> MCSystem:
         seeds = SeedBank(self.seed)
         sim = Simulator()
         network = Network(sim)
         registry = NameRegistry()
         model = SystemModel(name="mc-system")
+        metrics = MetricsRegistry()
+        fleet_size = (self.resilience.fleet_size
+                      if self.resilience is not None else 0)
+        if fleet_size < 0:
+            raise ValueError(f"fleet_size must be >= 0, got {fleet_size}")
 
         core = network.add_node("internet-core", forwarding=True)
         host = _build_host_tier(sim, network, core, registry, seeds)
@@ -312,6 +491,8 @@ class MCSystemBuilder:
                              channel, wireless_subnet=station_subnet)
             air_pressure = None  # WLAN: no shared-airtime backlog probe
             bearer_impl = ap
+            cells: list = []
+            cellnet = None
 
             def attach(station: MobileStation):
                 return ap.associate(station, station.mobile)
@@ -322,8 +503,14 @@ class MCSystemBuilder:
                 loss_rate=self.wireless_loss, loss_stream=loss_stream,
                 subscriber_subnet=str(station_subnet),
             )
-            base_station = cellnet.add_base_station("cell-0",
-                                                    Position(0.0, 0.0))
+            # A fleet gets one cell per initial member (the radio tier
+            # scales with the planned middleware tier, not with later
+            # autoscaling); the classic topology keeps its single cell.
+            n_cells = fleet_size if fleet_size > 1 else 1
+            cells = [cellnet.add_base_station(f"cell-{i}",
+                                              Position(0.0, 0.0))
+                     for i in range(n_cells)]
+            base_station = cells[0]
             air_pressure = base_station.air_backlog
             bearer_impl = cellnet
 
@@ -336,8 +523,11 @@ class MCSystemBuilder:
         res = self.resilience
         origin_timeout = res.origin_timeout if res is not None else 30.0
         breaker = (res.breaker(sim, name=f"{self.middleware}-origin")
-                   if res is not None else None)
-        want_standby = res is not None and res.standby_gateway
+                   if res is not None and fleet_size == 0 else None)
+        # The fleet replaces the single-standby scheme wholesale: the
+        # ring supplies the ordered failover candidates instead.
+        want_standby = (res is not None and res.standby_gateway
+                        and fleet_size == 0)
         standby_breaker = (
             res.breaker(sim, name=f"{self.middleware}-origin-standby")
             if want_standby else None)
@@ -347,7 +537,8 @@ class MCSystemBuilder:
         # Gateway-side batching + admission control (off unless the
         # config enables it); primary and standby get independent
         # batchers with their own seeded jitter streams.
-        batch_cfg = res.batch_config() if res is not None else None
+        batch_cfg = (res.batch_config()
+                     if res is not None and fleet_size == 0 else None)
         batch_stream = (seeds.stream("gateway-admission")
                         if batch_cfg is not None else None)
         standby_batch_stream = (seeds.stream("gateway-admission-standby")
@@ -355,7 +546,23 @@ class MCSystemBuilder:
                                 else None)
         gw_address = middleware_node.primary_address
 
-        if self.middleware == "WAP":
+        fleet_parts = None
+        if fleet_size > 0:
+            fleet_parts = self._build_fleet_middleware(
+                sim, seeds, registry, middleware_node, res, cells, metrics)
+            gateway = fleet_parts["gateway"]
+            make_session = fleet_parts["make_session"]
+            if cellnet is not None:
+                fleet_balancer = fleet_parts["balancer"]
+
+                def attach(station: MobileStation,
+                           _cells=cells, _balancer=fleet_balancer,
+                           _cellnet=cellnet):
+                    member = _balancer.member_for(station.name)
+                    cell = _cells[member.cell_index % len(_cells)]
+                    return _cellnet.attach(station, station.mobile,
+                                           cell=cell)
+        elif self.middleware == "WAP":
             primary_port = self.middleware_port or WSP_PORT
             gateway = WAPGateway(middleware_node, registry,
                                  port=primary_port,
@@ -366,7 +573,9 @@ class MCSystemBuilder:
                                  origin_timeout=origin_timeout,
                                  batching=batch_cfg,
                                  batch_stream=batch_stream,
-                                 air_pressure=air_pressure)
+                                 air_pressure=air_pressure,
+                                 metrics=metrics,
+                                 metric_name="gateway.primary")
             secure = self.secure_wap
             registry.register_service("middleware", gw_address,
                                       gateway.port)
@@ -393,7 +602,8 @@ class MCSystemBuilder:
                     breaker=standby_breaker, origin_timeout=origin_timeout,
                     batching=res.batch_config(),
                     batch_stream=standby_batch_stream,
-                    air_pressure=air_pressure)
+                    air_pressure=air_pressure,
+                    metrics=metrics, metric_name="gateway.standby")
                 registry.register_service("middleware-standby", gw_address,
                                           standby_gateway.port)
                 registry.register_service("middleware-standby-wtls",
@@ -420,7 +630,9 @@ class MCSystemBuilder:
                                        origin_timeout=origin_timeout,
                                        batching=batch_cfg,
                                        batch_stream=batch_stream,
-                                       air_pressure=air_pressure)
+                                       air_pressure=air_pressure,
+                                       metrics=metrics,
+                                       metric_name="gateway.primary")
             registry.register_service("middleware", gw_address,
                                       gateway.port)
 
@@ -436,7 +648,8 @@ class MCSystemBuilder:
                     breaker=standby_breaker, origin_timeout=origin_timeout,
                     batching=res.batch_config(),
                     batch_stream=standby_batch_stream,
-                    air_pressure=air_pressure)
+                    air_pressure=air_pressure,
+                    metrics=metrics, metric_name="gateway.standby")
                 registry.register_service("middleware-standby", gw_address,
                                           standby_gateway.port)
 
@@ -451,7 +664,9 @@ class MCSystemBuilder:
                                   origin_timeout=origin_timeout,
                                   batching=batch_cfg,
                                   batch_stream=batch_stream,
-                                  air_pressure=air_pressure)
+                                  air_pressure=air_pressure,
+                                  metrics=metrics,
+                                  metric_name="gateway.primary")
             registry.register_service("middleware", gw_address,
                                       gateway.port)
 
@@ -467,7 +682,8 @@ class MCSystemBuilder:
                     breaker=standby_breaker, origin_timeout=origin_timeout,
                     batching=res.batch_config(),
                     batch_stream=standby_batch_stream,
-                    air_pressure=air_pressure)
+                    air_pressure=air_pressure,
+                    metrics=metrics, metric_name="gateway.standby")
                 registry.register_service("middleware-standby", gw_address,
                                           standby_gateway.port)
 
@@ -476,7 +692,7 @@ class MCSystemBuilder:
                     return IModeSession(station, endpoint.address,
                                         port=endpoint.port)
 
-        if res is not None:
+        if res is not None and fleet_parts is None:
             make_primary_session = make_session
 
             def make_session(station: MobileStation) -> MiddlewareSession:
@@ -526,6 +742,13 @@ class MCSystemBuilder:
         system.gateway = gateway
         system.standby_gateway = standby_gateway
         system.resilience = res
+        system.metrics = metrics
+        if fleet_parts is not None:
+            system.fleet = fleet_parts["fleet"]
+            system.balancer = fleet_parts["balancer"]
+            system.health_monitor = fleet_parts["health"]
+            system.autoscaler = fleet_parts["autoscaler"]
+            system.canary = fleet_parts["canary"]
         if res is not None:
             host.web_server.enable_load_shedding(
                 backlog=res.shed_backlog, retry_after=res.shed_retry_after,

@@ -11,16 +11,18 @@ the sim clock, so the same arguments produce a byte-identical report.
 
 from __future__ import annotations
 
+import dataclasses
 import json
 
 from ..apps import CommerceApp
 from ..core import MCSystemBuilder, TransactionEngine
+from ..fleet import fleet_report
 from ..resilience import ResilienceConfig
 from .engine import FaultEngine
 from .plan import FaultPlan
 
-__all__ = ["SCENARIOS", "scenario_plan", "run_chaos", "report_json",
-           "percentile"]
+__all__ = ["SCENARIOS", "FLEET_SCENARIOS", "scenario_plan", "run_chaos",
+           "report_json", "percentile"]
 
 DEFAULT_DEVICE = "Nokia 9290 Communicator"
 
@@ -38,6 +40,7 @@ def _flaky_radio(stream, horizon, intensity):
         if loss_at < horizon:
             plan.add("wireless_loss", at=loss_at,
                      duration=6.0 + 6.0 * intensity,
+                     target="cell-",
                      magnitude=min(0.8, 0.3 + 0.5 * intensity))
         at += period
     return plan
@@ -47,9 +50,11 @@ def _gateway_outage(stream, horizon, intensity):
     """Primary gateway crashes mid-run; a shorter relapse later."""
     plan = FaultPlan()
     plan.add("gateway_crash", at=horizon * 0.2,
-             duration=horizon * (0.1 + 0.15 * intensity))
+             duration=horizon * (0.1 + 0.15 * intensity),
+             target="primary")
     plan.add("gateway_crash", at=horizon * 0.6,
-             duration=horizon * 0.08 * (1.0 + intensity))
+             duration=horizon * 0.08 * (1.0 + intensity),
+             target="primary")
     if intensity >= 0.75:
         # Hard mode: the standby goes down while the primary is out.
         plan.add("gateway_crash", at=horizon * 0.22,
@@ -63,7 +68,7 @@ def _brownout(stream, horizon, intensity):
     plan.add("server_stall", at=horizon * 0.15,
              duration=2.0 + 6.0 * intensity)
     plan.add("db_stall", at=horizon * 0.4,
-             duration=1.0 + 3.0 * intensity)
+             duration=1.0 + 3.0 * intensity, target="shop_items")
     plan.add("server_crash", at=horizon * 0.65,
              duration=2.0 + 8.0 * intensity)
     return plan
@@ -72,9 +77,9 @@ def _brownout(stream, horizon, intensity):
 def _dns_blackout(stream, horizon, intensity):
     plan = FaultPlan()
     plan.add("dns_blackout", at=horizon * 0.25,
-             duration=3.0 + 9.0 * intensity)
+             duration=3.0 + 9.0 * intensity, target="shop.example.com")
     plan.add("dns_blackout", at=horizon * 0.7,
-             duration=2.0 + 6.0 * intensity)
+             duration=2.0 + 6.0 * intensity, target="shop.example.com")
     return plan
 
 
@@ -83,13 +88,43 @@ def _storm(stream, horizon, intensity):
     return FaultPlan.random(stream, horizon, intensity=intensity)
 
 
+def _fleet_outage(stream, horizon, intensity):
+    """Kill one member of the fleet mid-run; health checks recover it.
+
+    k=1 of N=4: the member is ejected after ``unhealthy_threshold``
+    failed probes, its ring keys remap to the survivors, and it is
+    re-admitted half-open once the restart answers probes again.
+    """
+    plan = FaultPlan()
+    plan.add("gateway_crash", at=horizon * 0.3,
+             duration=horizon * (0.2 + 0.2 * intensity),
+             target="member:1")
+    return plan
+
+
+def _canary_regression(stream, horizon, intensity):
+    """No injected fault: the regression is the handicapped v2 build.
+
+    The scenario's fleet config deploys a deliberately degraded canary
+    (per-request handicap scaling with intensity); the controller must
+    detect the SLO breach and roll back with zero stranded sessions.
+    """
+    return FaultPlan()
+
+
 SCENARIOS = {
     "flaky-radio": _flaky_radio,
     "gateway-outage": _gateway_outage,
     "brownout": _brownout,
     "dns-blackout": _dns_blackout,
     "storm": _storm,
+    "fleet-outage": _fleet_outage,
+    "canary-regression": _canary_regression,
 }
+
+# Scenarios that only make sense on a fleet get one by default (an
+# explicit ``fleet=`` argument still wins).
+FLEET_SCENARIOS = {"fleet-outage": 4, "canary-regression": 4}
 
 
 def scenario_plan(scenario: str, stream, horizon: float,
@@ -118,12 +153,12 @@ def percentile(values, q: float) -> float:
 # ------------------------------------------------------------- the runner
 def run_chaos(scenario: str = "storm", seed: int = 0,
               intensity: float = 0.5, policies: bool = True,
-              stations: int = 4, transactions_per_station: int = 6,
+              stations: int = None, transactions_per_station: int = 6,
               horizon: float = 240.0, middleware: str = "WAP",
               bearer: tuple = ("cellular", "GPRS"),
               device: str = DEFAULT_DEVICE,
               plan: FaultPlan = None,
-              post_build=None) -> dict:
+              post_build=None, fleet: int = 0) -> dict:
     """Run one chaos scenario end to end; returns the report dict.
 
     ``policies=False`` builds the identical system without any
@@ -133,9 +168,35 @@ def run_chaos(scenario: str = "storm", seed: int = 0,
     recorded).  ``post_build(system, engine)``, when given, runs after
     the scenario is fully wired but before the clock starts — the race
     sanitizer uses it to instrument shared state and install its
-    kernel hook.
+    kernel hook.  ``fleet`` > 0 runs the scenario against an N-member
+    gateway fleet (requires ``policies``); the fleet-native scenarios
+    (``fleet-outage``, ``canary-regression``) default to one.
     """
+    if fleet == 0:
+        fleet = FLEET_SCENARIOS.get(scenario, 0)
+    if fleet > 0 and not policies:
+        raise ValueError("a gateway fleet requires policies=True")
+    if stations is None:
+        # Fleet scenarios need enough stations that every shard (and
+        # the canary cohort) actually sees traffic.
+        stations = 12 if fleet > 0 else 4
     resilience = ResilienceConfig() if policies else None
+    if fleet > 0:
+        resilience = dataclasses.replace(
+            resilience, fleet_size=fleet, standby_gateway=False)
+    if scenario == "canary-regression" and fleet > 0:
+        # The planted regression: a v2 canary whose per-request
+        # handicap scales with intensity, judged over windows sized to
+        # see several transactions per side.
+        resilience = dataclasses.replace(
+            resilience,
+            canary_fraction=0.5,
+            canary_deploy_at=horizon * 0.25,
+            canary_handicap=2.0 + 2.0 * intensity,
+            canary_window=horizon / 6.0,
+            canary_min_samples=3,
+            canary_violations=2,
+        )
     builder = MCSystemBuilder(seed=seed, middleware=middleware,
                               bearer=bearer, resilience=resilience)
     system = builder.build()
@@ -189,6 +250,7 @@ def run_chaos(scenario: str = "storm", seed: int = 0,
             label = record.error.split(":", 1)[0] or "unknown"
             errors[label] = errors.get(label, 0) + 1
 
+    offered = stations * transactions_per_station
     report = {
         "scenario": scenario,
         "seed": seed,
@@ -202,9 +264,12 @@ def run_chaos(scenario: str = "storm", seed: int = 0,
         "transactions_per_station": transactions_per_station,
         "plan": [spec.to_dict() for spec in plan.ordered()],
         "faults": dict(sorted(faults.stats.as_dict().items())),
+        "offered": offered,
         "completed": len(records),
         "successful": len(engine.successful),
         "success_rate": round(engine.success_rate(), 6),
+        "success_vs_offered": (round(len(engine.successful) / offered, 6)
+                               if offered else 0.0),
         "retries": sum(record.retries for record in records),
         "errors": dict(sorted(errors.items())),
         "latency": {
@@ -214,6 +279,8 @@ def run_chaos(scenario: str = "storm", seed: int = 0,
         },
         "resilience": _resilience_counters(system, handles),
     }
+    if system.fleet is not None:
+        report["fleet"] = fleet_report(system)
     return report
 
 

@@ -19,6 +19,7 @@ __all__ = [
     "links_for",
     "radio_links_for",
     "stations_for",
+    "gateways_for",
     "inject_link_flap",
     "inject_wireless_loss",
     "inject_gateway_crash",
@@ -96,17 +97,58 @@ def inject_wireless_loss(system, spec):
             link._loss_stream = stream
 
 
+def gateways_for(system, target: str = "", at: float = 0.0):
+    """Resolve a gateway-crash member selector to gateway objects.
+
+    * ``""`` / ``"primary"`` — the primary gateway (classic behaviour);
+    * ``"standby"`` — the hot standby, when one exists;
+    * ``"member:<i>"`` — fleet member with index ``i``;
+    * ``"canary"`` — every active v2 (canary) fleet member;
+    * ``"random-seeded"`` — one active fleet member drawn from a seeded
+      stream keyed by ``at`` (the spec's start time), so independent
+      crashes in one plan pick independently but reproducibly.
+    """
+    fleet = getattr(system, "fleet", None)
+    if target in ("", "primary"):
+        return [system.gateway] if system.gateway is not None else []
+    if target == "standby":
+        return ([system.standby_gateway]
+                if system.standby_gateway is not None else [])
+    if fleet is None:
+        return []
+    if target.startswith("member:"):
+        index = int(target.split(":", 1)[1])
+        return [m.gateway for m in fleet.members.values()
+                if m.index == index and m.state == "active"]
+    if target == "canary":
+        return [m.gateway for m in fleet.members.values()
+                if m.version == "v2" and m.state == "active"]
+    if target == "random-seeded":
+        active = fleet.active_members()
+        if not active:
+            return []
+        stream = system.seeds.stream(f"fault-gateway-{at:g}")
+        return [stream.choice(active).gateway]
+    raise ValueError(f"unknown gateway_crash target {target!r}")
+
+
 def inject_gateway_crash(system, spec):
-    """Crash the middleware gateway (or the standby, target="standby")."""
-    gateway = (system.standby_gateway if spec.target == "standby"
-               else system.gateway)
-    if gateway is None:
+    """Crash the selected middleware gateway(s) for the window.
+
+    Overlapping windows keep the pre-fleet semantics: ``crash`` and
+    ``restart`` are idempotent, and whichever window ends first brings
+    the gateway back.
+    """
+    gateways = gateways_for(system, spec.target, at=spec.at)
+    if not gateways:
         return
-    gateway.crash()
+    for gateway in gateways:
+        gateway.crash()
     try:
         yield system.sim.timeout(spec.duration)
     finally:
-        gateway.restart()
+        for gateway in gateways:
+            gateway.restart()
 
 
 def inject_server_stall(system, spec):

@@ -167,6 +167,10 @@ class FaultPlan:
                 magnitude = min(0.9, stream.uniform(0.2, 0.6) * 2 * intensity)
             elif kind == "memory_pressure":
                 magnitude = min(0.9, stream.uniform(0.3, 0.7))
-            plan.add(kind, at=at, duration=duration, magnitude=magnitude)
+            # gateway_crash resolves through a member selector now;
+            # name the classic default explicitly.
+            target = "primary" if kind == "gateway_crash" else ""
+            plan.add(kind, at=at, duration=duration, target=target,
+                     magnitude=magnitude)
             at += stream.expovariate(rate)
         return plan

@@ -1,0 +1,111 @@
+"""Queue-depth autoscaling with hysteresis.
+
+Every ``interval`` the scaler reads the live per-member batcher-depth
+gauges (``gateway.<member>.queue_depth``, exported by
+:class:`~repro.middleware.base.RequestBatcher`) and compares the mean
+serving depth against two watermarks: above ``high_watermark`` it adds
+a member, below ``low_watermark`` it gracefully retires the
+newest-added one.  The watermark gap plus a ``cooldown`` after every
+action is the hysteresis that keeps oscillating load from flapping the
+pool (the no-flap property the test suite pins).
+
+:meth:`AutoScaler.decide` is pure — tests drive it with synthetic
+depths and a fake clock.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..sim import Counter, Simulator
+from .pool import GatewayFleet
+
+__all__ = ["AutoScaler"]
+
+
+class AutoScaler:
+    """Hysteresis scaler over live queue-depth gauges."""
+
+    def __init__(self, sim: Simulator, fleet: GatewayFleet, metrics,
+                 high_watermark: float = 8.0, low_watermark: float = 1.0,
+                 min_members: int = 1, max_members: int = 8,
+                 cooldown: float = 30.0, interval: float = 5.0,
+                 phase: float = 0.222):
+        if low_watermark >= high_watermark:
+            raise ValueError(
+                "low_watermark must sit below high_watermark "
+                f"(got {low_watermark} >= {high_watermark})")
+        if min_members < 1 or max_members < min_members:
+            raise ValueError(
+                f"need 1 <= min_members <= max_members, got "
+                f"{min_members}..{max_members}")
+        self.sim = sim
+        self.fleet = fleet
+        self.metrics = metrics
+        self.high_watermark = high_watermark
+        self.low_watermark = low_watermark
+        self.min_members = min_members
+        self.max_members = max_members
+        self.cooldown = cooldown
+        self.interval = interval
+        self.phase = phase
+        self.stats = Counter()
+        self.last_action_at: Optional[float] = None
+        self.events: list[dict] = []
+        self._started = False
+
+    def start(self) -> None:
+        if self._started:
+            return
+        # Scaler state is written only by the single fleet-autoscale
+        # process at phase-offset times (0.222) no other monitor
+        # shares; the dynamic sanitizer confirms no same-batch overlap.
+        self._started = True  # repro: noqa[shared-state]
+        self.sim.spawn(self._scale_loop(), name="fleet-autoscale")
+
+    def _scale_loop(self):
+        yield self.sim.timeout(self.phase)
+        while True:
+            yield self.sim.timeout(self.interval)
+            self.tick()
+
+    # -- pure decision -----------------------------------------------------
+    def decide(self, depths: list[float], n_members: int,
+               now: float) -> Optional[str]:
+        if not depths:
+            return None
+        if self.last_action_at is not None and \
+                now - self.last_action_at < self.cooldown:
+            return None
+        mean_depth = sum(depths) / len(depths)
+        if mean_depth > self.high_watermark and \
+                n_members < self.max_members:
+            return "up"
+        if mean_depth < self.low_watermark and \
+                n_members > self.min_members:
+            return "down"
+        return None
+
+    def tick(self) -> Optional[str]:
+        serving = self.fleet.serving_members()
+        depths = [
+            self.metrics.gauge(f"gateway.{m.name}.queue_depth").value
+            for m in serving
+        ]
+        action = self.decide(depths, len(serving), self.sim.now)
+        if action == "up":
+            member = self.fleet.add_member()
+            self.stats.incr("scale_ups")  # repro: noqa[shared-state]
+            self.events.append({"at": self.sim.now, "action": "up",  # repro: noqa[shared-state]
+                                "member": member.name})
+            self.last_action_at = self.sim.now  # repro: noqa[shared-state]
+        elif action == "down":
+            # Newest first: the longest-lived members hold the most
+            # sticky sessions, so draining the newest strands least.
+            victim = max(serving, key=lambda m: m.index)
+            self.fleet.retire_member(victim.name, reason="scale-down")
+            self.stats.incr("scale_downs")
+            self.events.append({"at": self.sim.now, "action": "down",
+                                "member": victim.name})
+            self.last_action_at = self.sim.now
+        return action

@@ -1,0 +1,135 @@
+"""Consistent-hash load balancer over a gateway fleet.
+
+The balancer is deliberately *pure control plane*: it never spawns a
+process and never touches the event queue.  It turns a station into an
+ordered candidate list (ring order from the station's hash point), and
+:class:`~repro.resilience.session.ResilientSession` does the actual
+failover — so a fleet request path is the classic resilient path with
+the static route list swapped for a live provider.
+
+Device-side sessions to members are created lazily and cached per
+``(station, member)``; session construction is side-effect free (the
+WSP/i-mode/Palm transports connect on first use), so lazy creation is
+invisible to the virtual timeline.  The balancer also collects the
+per-attempt SLO observations (ok/latency per member) the canary
+controller judges windows from.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Optional
+
+from ..sim import Counter, Simulator
+from .pool import FleetMember, GatewayFleet
+
+__all__ = ["LoadBalancer"]
+
+
+class LoadBalancer:
+    """Session-affine front for a :class:`GatewayFleet`."""
+
+    def __init__(self, sim: Simulator, fleet: GatewayFleet,
+                 direct_factory: Optional[Callable] = None,
+                 sample_window: float = 120.0):
+        self.sim = sim
+        self.fleet = fleet
+        # Optional last-resort route appended after every member (the
+        # ResilienceConfig.direct_fallback degenerate path).
+        self._direct_factory = direct_factory
+        self.sample_window = sample_window
+        self.stats = Counter()
+        self._sessions: dict[tuple[str, str], object] = {}
+        self._direct: dict[str, object] = {}
+        # member name -> deque[(virtual time, ok, elapsed)]
+        self.samples: dict[str, deque] = {}
+
+    # -- placement ---------------------------------------------------------
+    def candidates(self, key: str) -> list[FleetMember]:
+        """Serving members in ring order for ``key`` (affinity first).
+
+        The ring only ever holds serving members (health ejection and
+        retirement both remove); if *everything* is ejected we fall
+        back to all active members rather than refusing outright —
+        a fully-dark fleet should fail per-request, not instantly.
+        """
+        names = self.fleet.ring.candidates(key)
+        if names:
+            return [self.fleet.member(name) for name in names]
+        return self.fleet.active_members()
+
+    def member_for(self, key: str) -> FleetMember:
+        """Primary owner of ``key`` (used for radio-cell pinning)."""
+        members = self.candidates(key)
+        if not members:
+            raise LookupError("fleet has no active members")
+        return members[0]
+
+    # -- data plane --------------------------------------------------------
+    def _session_for(self, station, member: FleetMember):
+        cache_key = (station.name, member.name)
+        session = self._sessions.get(cache_key)
+        if session is None:
+            session = member.make_session(station)
+            # Attribution for the SLO observer: which member a
+            # ResilientSession attempt actually hit.
+            session._fleet_member = member.name
+            self._sessions[cache_key] = session
+            self.stats.incr("sessions_created")
+        return session
+
+    def _direct_for(self, station):
+        session = self._direct.get(station.name)
+        if session is None:
+            session = self._direct_factory(station)
+            self._direct[station.name] = session
+        return session
+
+    def provider(self, station) -> Callable[[], list]:
+        """Routes callable for one station's ResilientSession."""
+        key = station.name
+
+        def routes() -> list:
+            members = self.candidates(key)
+            sessions = [self._session_for(station, m) for m in members]
+            if self._direct_factory is not None:
+                sessions.append(self._direct_for(station))
+            return sessions
+
+        return routes
+
+    # -- SLO observations --------------------------------------------------
+    def observe(self, session, ok: bool, elapsed: float) -> None:
+        """ResilientSession per-attempt observer."""
+        name = getattr(session, "_fleet_member", None)
+        if name is None:
+            return
+        window = self.samples.get(name)
+        if window is None:
+            window = self.samples[name] = deque()
+        window.append((self.sim.now, ok, elapsed))
+        horizon = self.sim.now - self.sample_window
+        while window and window[0][0] < horizon:
+            window.popleft()
+        self.stats.incr("observations")
+        if not ok:
+            self.stats.incr("observed_failures")
+
+    def window_stats(self, names: list[str], since: float) -> dict:
+        """Aggregate (count/successes/latencies) for members since t."""
+        count = 0
+        successes = 0
+        latencies: list[float] = []
+        for name in names:
+            window = self.samples.get(name)
+            if not window:
+                continue
+            for when, ok, elapsed in window:
+                if when < since:
+                    continue
+                count += 1
+                if ok:
+                    successes += 1
+                    latencies.append(elapsed)
+        return {"count": count, "successes": successes,
+                "latencies": latencies}

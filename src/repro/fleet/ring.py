@@ -1,0 +1,102 @@
+"""Consistent-hash ring with virtual nodes.
+
+Session affinity that survives member churn: each member owns
+``virtual_nodes`` points on a 64-bit circle, a session key maps to the
+first point clockwise of its own hash, and removing one member only
+remaps the keys that member owned (~1/N of them) instead of reshuffling
+everything the way ``hash(key) % N`` would.
+
+Hashes come from SHA-256, never Python's builtin ``hash`` — the
+builtin is salted per interpreter run, which would break byte-identical
+same-seed replays.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import bisect_right
+
+__all__ = ["HashRing"]
+
+
+def _hash64(key: str) -> int:
+    digest = hashlib.sha256(key.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class HashRing:
+    """Ordered set of member names on a 64-bit consistent-hash circle."""
+
+    def __init__(self, virtual_nodes: int = 64):
+        if virtual_nodes < 1:
+            raise ValueError(
+                f"virtual_nodes must be >= 1, got {virtual_nodes}")
+        self.virtual_nodes = virtual_nodes
+        # Sorted, parallel arrays: point hashes and the owning member.
+        self._points: list[int] = []
+        self._owners: list[str] = []
+        self._members: set[str] = set()
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __contains__(self, member: str) -> bool:
+        return member in self._members
+
+    def members(self) -> list[str]:
+        return sorted(self._members)
+
+    def _member_points(self, member: str) -> list[int]:
+        return [_hash64(f"{member}#{i}")
+                for i in range(self.virtual_nodes)]
+
+    def add(self, member: str) -> None:
+        if member in self._members:
+            return
+        self._members.add(member)
+        for point in self._member_points(member):
+            index = bisect_right(self._points, point)
+            self._points.insert(index, point)
+            self._owners.insert(index, member)
+
+    def remove(self, member: str) -> None:
+        if member not in self._members:
+            return
+        self._members.discard(member)
+        keep_points: list[int] = []
+        keep_owners: list[str] = []
+        for point, owner in zip(self._points, self._owners):
+            if owner != member:
+                keep_points.append(point)
+                keep_owners.append(owner)
+        self._points = keep_points
+        self._owners = keep_owners
+
+    def candidates(self, key: str, count: int = 0) -> list[str]:
+        """Distinct members in ring order starting at ``key``'s point.
+
+        The first entry is the key's primary owner; the rest are the
+        natural failover order (what the next owner would be if each
+        preceding member vanished).  ``count`` caps the list (0 = all
+        members).
+        """
+        if not self._points:
+            return []
+        limit = len(self._members) if count < 1 else min(
+            count, len(self._members))
+        start = bisect_right(self._points, _hash64(key))
+        found: list[str] = []
+        for offset in range(len(self._points)):
+            owner = self._owners[(start + offset) % len(self._points)]
+            if owner not in found:
+                found.append(owner)
+                if len(found) >= limit:
+                    break
+        return found
+
+    def owner(self, key: str) -> str:
+        """The primary member for ``key`` (ring must be non-empty)."""
+        names = self.candidates(key, count=1)
+        if not names:
+            raise LookupError("hash ring is empty")
+        return names[0]

@@ -67,7 +67,10 @@ class IModeCenter:
                  breaker=None, origin_timeout: float = 30.0,
                  batching: Optional[BatchConfig] = None,
                  batch_stream: Optional[RandomStream] = None,
-                 air_pressure=None):
+                 air_pressure=None, handicap: float = 0.0,
+                 metrics=None, metric_name: Optional[str] = None):
+        if handicap < 0:
+            raise ValueError(f"handicap must be >= 0, got {handicap}")
         self.node = node
         self.sim = node.sim
         self.registry = registry
@@ -84,6 +87,9 @@ class IModeCenter:
         # Flushed on crash and restart (cold cache after reboot).
         self._adaptations: dict[bytes, tuple] = {}
         self.adaptation_cache_hits = 0
+        # Per-request service handicap in sim-seconds (0 = none); the
+        # public knob canary "v2" variants use for degraded builds.
+        self.handicap = handicap
         # Optional accumulate-and-flush batching + admission control
         # (None keeps the legacy inline path bit-for-bit).
         self.batcher = None
@@ -92,7 +98,8 @@ class IModeCenter:
                 self.sim, batching, handler=self._proxy,
                 reply_factory=_http_reply, stream=batch_stream,
                 stats=self.stats, name=f"imode-batch@{node.name}",
-                pressure=air_pressure)
+                pressure=air_pressure, metrics=metrics,
+                metric_name=metric_name)
         self.is_down = False
         self._conns: list[TCPConnection] = []
         self._listener = self.tcp.listen(port)
@@ -155,6 +162,8 @@ class IModeCenter:
 
     def _proxy(self, request: HTTPRequest, parent=None):
         self.stats.incr("requests")
+        if self.handicap > 0:
+            yield self.sim.timeout(self.handicap)
         span = None
         if self.sim.tracer is not None and parent is not None:
             span = start_span(self.sim, "imode.center", "middleware",

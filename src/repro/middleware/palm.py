@@ -63,7 +63,10 @@ class WebClippingProxy:
                  breaker=None, origin_timeout: float = 30.0,
                  batching: Optional[BatchConfig] = None,
                  batch_stream: Optional[RandomStream] = None,
-                 air_pressure=None):
+                 air_pressure=None, handicap: float = 0.0,
+                 metrics=None, metric_name: Optional[str] = None):
+        if handicap < 0:
+            raise ValueError(f"handicap must be >= 0, got {handicap}")
         self.node = node
         self.sim = node.sim
         self.registry = registry
@@ -81,6 +84,9 @@ class WebClippingProxy:
         # crash and restart (cold cache after reboot).
         self._clippings: dict[bytes, tuple] = {}
         self.clipping_cache_hits = 0
+        # Per-request service handicap in sim-seconds (0 = none); the
+        # public knob canary "v2" variants use for degraded builds.
+        self.handicap = handicap
         # Optional accumulate-and-flush batching + admission control
         # (None keeps the legacy inline path bit-for-bit).
         self.batcher = None
@@ -89,7 +95,8 @@ class WebClippingProxy:
                 self.sim, batching, handler=self._handle,
                 reply_factory=frame_reply, stream=batch_stream,
                 stats=self.stats, name=f"clip-batch@{node.name}",
-                pressure=air_pressure)
+                pressure=air_pressure, metrics=metrics,
+                metric_name=metric_name)
         self.is_down = False
         self._conns: list[TCPConnection] = []
         self._listener = self.tcp.listen(port)
@@ -155,6 +162,8 @@ class WebClippingProxy:
 
     def _handle(self, request: dict, parent=None):
         self.stats.incr("requests")
+        if self.handicap > 0:
+            yield self.sim.timeout(self.handicap)
         span = None
         if self.sim.tracer is not None and parent is not None:
             span = start_span(self.sim, "palm.proxy", "middleware",

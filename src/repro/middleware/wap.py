@@ -71,7 +71,10 @@ class WAPGateway:
                  breaker=None, origin_timeout: float = 30.0,
                  batching: Optional[BatchConfig] = None,
                  batch_stream: Optional[RandomStream] = None,
-                 air_pressure=None):
+                 air_pressure=None, handicap: float = 0.0,
+                 metrics=None, metric_name: Optional[str] = None):
+        if handicap < 0:
+            raise ValueError(f"handicap must be >= 0, got {handicap}")
         self.node = node
         self.sim = node.sim
         self.registry = registry
@@ -96,6 +99,11 @@ class WAPGateway:
         self._translations: dict[tuple, tuple] = {}
         self.translation_cache_hits = 0
         self.stats = Counter()
+        # Per-request service handicap in sim-seconds, charged before
+        # handling.  0 (the default) adds no event and keeps legacy
+        # runs bit-for-bit; canary "v2" variants use it as the public
+        # knob for a deliberately degraded build.
+        self.handicap = handicap
         # Optional accumulate-and-flush batching + admission control:
         # serve loops route requests through the batcher when present
         # (None keeps the legacy inline path bit-for-bit).
@@ -105,7 +113,8 @@ class WAPGateway:
                 self.sim, batching, handler=self._handle,
                 reply_factory=frame_reply, stream=batch_stream,
                 stats=self.stats, name=f"wap-batch@{node.name}",
-                pressure=air_pressure)
+                pressure=air_pressure, metrics=metrics,
+                metric_name=metric_name)
         self.is_down = False
         self._conns: list[TCPConnection] = []
         self._listener = self.tcp.listen(port)
@@ -220,6 +229,8 @@ class WAPGateway:
 
     def _handle(self, request: dict, parent=None):
         self.stats.incr("wsp_requests")
+        if self.handicap > 0:
+            yield self.sim.timeout(self.handicap)
         span = None
         if self.sim.tracer is not None and parent is not None:
             span = start_span(self.sim, "wap.gateway", "middleware",

@@ -19,6 +19,7 @@ from __future__ import annotations
 from .context import TRACE_HEADER, TRACE_KEY, TraceContext
 from .metrics import (
     Counter,
+    Gauge,
     LatencyRecorder,
     MetricsRegistry,
     StatSummary,
@@ -47,6 +48,7 @@ __all__ = [
     "end_span",
     "ctx_of",
     "MetricsRegistry",
+    "Gauge",
     "Counter",
     "LatencyRecorder",
     "StatSummary",

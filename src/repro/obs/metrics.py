@@ -21,6 +21,7 @@ from ..sim.monitor import (
 )
 
 __all__ = [
+    "Gauge",
     "MetricsRegistry",
     "Counter",
     "LatencyRecorder",
@@ -30,6 +31,38 @@ __all__ = [
 ]
 
 
+class Gauge:
+    """A live instantaneous value (queue depth, pool size, backlog).
+
+    Unlike a :class:`Counter` (monotone accumulation) or a
+    :class:`TimeSeries` (retained history), a gauge holds only the
+    current reading plus its high-water mark — cheap enough to update
+    on every queue mutation, which is what lets health checks and
+    autoscalers read *live* values instead of poking component
+    internals after the run.
+    """
+
+    __slots__ = ("value", "peak", "updates")
+
+    def __init__(self):
+        self.value = 0.0
+        self.peak = 0.0
+        self.updates = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+        if value > self.peak:
+            self.peak = value
+        self.updates += 1
+
+    def add(self, delta: float) -> None:
+        self.set(self.value + delta)
+
+    def as_dict(self) -> dict:
+        return {"value": self.value, "peak": self.peak,
+                "updates": self.updates}
+
+
 class MetricsRegistry:
     """Named, get-or-create access to the monitor collectors."""
 
@@ -37,6 +70,7 @@ class MetricsRegistry:
         self._counters: dict[str, Counter] = {}
         self._series: dict[str, TimeSeries] = {}
         self._latencies: dict[str, LatencyRecorder] = {}
+        self._gauges: dict[str, Gauge] = {}
 
     # -- get-or-create ---------------------------------------------------
     def counter(self, name: str) -> Counter:
@@ -57,6 +91,12 @@ class MetricsRegistry:
             recorder = self._latencies[name] = LatencyRecorder()
         return recorder
 
+    def gauge(self, name: str) -> Gauge:
+        gauge = self._gauges.get(name)
+        if gauge is None:
+            gauge = self._gauges[name] = Gauge()
+        return gauge
+
     # -- convenience recording -------------------------------------------
     def incr(self, name: str, key: str, amount: int = 1) -> None:
         self.counter(name).incr(key, amount)
@@ -74,11 +114,14 @@ class MetricsRegistry:
 
     def names(self) -> list[str]:
         return sorted(set(self._counters) | set(self._series)
-                      | set(self._latencies))
+                      | set(self._latencies) | set(self._gauges))
 
     def snapshot(self) -> dict:
         """One JSON-friendly dict of everything the registry holds."""
-        out: dict = {"counters": {}, "series": {}, "latencies": {}}
+        out: dict = {"counters": {}, "series": {}, "latencies": {},
+                     "gauges": {}}
+        for name, gauge in sorted(self._gauges.items()):
+            out["gauges"][name] = gauge.as_dict()
         for name, counter in sorted(self._counters.items()):
             out["counters"][name] = counter.as_dict()
         for name, series in sorted(self._series.items()):

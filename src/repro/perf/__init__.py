@@ -21,7 +21,7 @@ from .baseline import (
     baseline_for,
     baselines_for,
 )
-from .determinism import determinism_check, scheduler_check
+from .determinism import determinism_check, fleet_check, scheduler_check
 from .loadgen import (
     bench_json,
     bench_resilience,
@@ -32,7 +32,7 @@ from .loadgen import (
 from .report import full_bench, report_to_json
 
 __all__ = ["run_bench", "sweep_bench", "bench_json", "bench_resilience",
-           "check_capacity_curve", "determinism_check",
+           "check_capacity_curve", "determinism_check", "fleet_check",
            "scheduler_check", "full_bench", "report_to_json",
            "PRE_OPTIMIZATION_BASELINE", "PRE_CALENDAR_BASELINE",
            "BASELINES", "baseline_for", "baselines_for"]

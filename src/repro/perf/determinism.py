@@ -31,12 +31,12 @@ from ..opt import OPTIMIZATIONS, optimizations_disabled
 from ..sim import SCHEDULERS, scheduler_override
 from .loadgen import run_bench
 
-__all__ = ["determinism_check", "scheduler_check"]
+__all__ = ["determinism_check", "fleet_check", "scheduler_check"]
 
 
-def _bench_bytes(users: int, seed: int) -> str:
+def _bench_bytes(users: int, seed: int, fleet: int = 0) -> str:
     report = run_bench(users=users, seed=seed, horizon=120.0,
-                       transactions_per_user=3)
+                       transactions_per_user=3, fleet=fleet)
     return json.dumps(report["deterministic"], indent=2, sort_keys=True)
 
 
@@ -76,6 +76,36 @@ def determinism_check(users: int = 20, seed: int = 7) -> dict:
             for flag, value in saved.items():
                 setattr(OPTIMIZATIONS, flag, value)
         checks[name] = optimized == baseline
+    return {
+        "identical": all(checks.values()),
+        "checks": checks,
+        "users": users,
+        "seed": seed,
+    }
+
+
+def fleet_check(users: int = 20, seed: int = 7) -> dict:
+    """A/B guard for the gateway-fleet wiring (DESIGN §14).
+
+    Two claims are byte-compared:
+
+    * **fleet-of-1 transparency** — building the middleware tier as a
+      one-member fleet behind the balancer produces the same
+      deterministic benchmark section as the plain single-gateway
+      build (member 0 reuses the legacy port, stream names and breaker
+      identity, and the balancer itself schedules no events);
+    * **fleet-of-3 reproducibility** — the same seed through a real
+      fleet (hash ring, health prober, per-member cells) produces the
+      same bytes twice.
+    """
+    single = _bench_bytes(users, seed)
+    fleet_of_one = _bench_bytes(users, seed, fleet=1)
+    first = _bench_bytes(users, seed, fleet=3)
+    second = _bench_bytes(users, seed, fleet=3)
+    checks = {
+        "fleet_of_1_vs_single": fleet_of_one == single,
+        "fleet_of_3_repeat": first == second,
+    }
     return {
         "identical": all(checks.values()),
         "checks": checks,

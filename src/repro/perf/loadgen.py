@@ -21,6 +21,7 @@ The report has two sections with different guarantees:
 
 from __future__ import annotations
 
+import dataclasses
 import gc
 import json
 import time
@@ -30,6 +31,7 @@ from typing import Iterable, Optional
 from ..apps import CommerceApp
 from ..core import MCSystemBuilder, TransactionEngine
 from ..faults.chaos import DEFAULT_DEVICE, percentile
+from ..fleet import fleet_report
 from ..obs import install_tracer, layer_breakdown
 from ..opt import OPTIMIZATIONS
 from ..resilience import ResilienceConfig
@@ -138,7 +140,8 @@ def run_bench(users: int = 50, seed: int = 7,
               max_spans: int = 2_000_000,
               scheduler: Optional[str] = None,
               post_build=None,
-              resilience: Optional[ResilienceConfig] = None) -> dict:
+              resilience: Optional[ResilienceConfig] = None,
+              fleet: int = 0) -> dict:
     """Run the load scenario once and return the benchmark report dict.
 
     ``users`` stations each run ``transactions_per_user`` purchase flows
@@ -152,7 +155,10 @@ def run_bench(users: int = 50, seed: int = 7,
     uses it to instrument shared state and install its kernel hook.
     ``resilience`` overrides the policy set (tests use it to force
     specific capacity knobs); the default with ``policies=True`` is
-    :func:`bench_resilience`.
+    :func:`bench_resilience`.  ``fleet`` > 0 runs the middleware tier
+    as an N-member gateway fleet behind the consistent-hash balancer
+    (requires policies); a fleet of 1 is the transparency case the
+    fleet A/B guard byte-compares against the single-gateway build.
     """
     if users < 1:
         raise ValueError(f"users must be >= 1, got {users}")
@@ -162,6 +168,11 @@ def run_bench(users: int = 50, seed: int = 7,
 
     if resilience is None:
         resilience = bench_resilience() if policies else None
+    if fleet > 0:
+        if resilience is None:
+            raise ValueError("a gateway fleet requires policies=True")
+        resilience = dataclasses.replace(resilience, fleet_size=fleet,
+                                         standby_gateway=False)
     builder = MCSystemBuilder(seed=seed, middleware=middleware,
                               bearer=bearer, resilience=resilience)
     context = scheduler_override(scheduler) if scheduler is not None \
@@ -285,7 +296,11 @@ def run_bench(users: int = 50, seed: int = 7,
     }
     admission = {"sheds": 0, "watermark_sheds": 0, "pressure_sheds": 0,
                  "batches": 0, "batched_requests": 0}
-    for gw in (system.gateway, system.standby_gateway):
+    if system.fleet is not None:
+        gateways = [m.gateway for m in system.fleet.members.values()]
+    else:
+        gateways = [system.gateway, system.standby_gateway]
+    for gw in gateways:
         counts = gw.stats.as_dict() if gw is not None else {}
         admission["watermark_sheds"] += counts.get("admission_sheds", 0)
         admission["pressure_sheds"] += counts.get("pressure_sheds", 0)
@@ -296,6 +311,11 @@ def run_bench(users: int = 50, seed: int = 7,
     admission["sheds"] = (admission["watermark_sheds"]
                           + admission["pressure_sheds"])
     deterministic["gateway_admission"] = admission
+    # Only a *real* fleet (>= 2 members) adds its section: the fleet-of-1
+    # transparency guard byte-compares against the single-gateway build,
+    # so the degenerate case must not change the report shape.
+    if system.fleet is not None and resilience.fleet_size >= 2:
+        deterministic["fleet"] = fleet_report(system)
     if tracer is not None:
         deterministic["layers"] = _aggregate_layers(tracer)
         deterministic["spans"] = len(tracer.spans)
@@ -318,7 +338,8 @@ def run_bench(users: int = 50, seed: int = 7,
 def sweep_bench(user_counts: Iterable[int], seed: int = 7,
                 transactions_per_user: int = 4,
                 horizon: float = 240.0,
-                scheduler: Optional[str] = None) -> dict:
+                scheduler: Optional[str] = None,
+                fleet: int = 0) -> dict:
     """Goodput-vs-offered-load curve across a list of user counts.
 
     Each point runs the standard bench scenario (tracing off — the
@@ -341,7 +362,7 @@ def sweep_bench(user_counts: Iterable[int], seed: int = 7,
         report = run_bench(users=users, seed=seed,
                            transactions_per_user=transactions_per_user,
                            horizon=horizon, trace=False,
-                           scheduler=scheduler)
+                           scheduler=scheduler, fleet=fleet)
         det = report["deterministic"]
         virtual = det["virtual_seconds"] or horizon
         det_points.append({
@@ -368,6 +389,7 @@ def sweep_bench(user_counts: Iterable[int], seed: int = 7,
             "seed": seed,
             "transactions_per_user": transactions_per_user,
             "horizon": horizon,
+            "fleet": fleet,
             "points": det_points,
             "curve": check_capacity_curve(det_points),
         },

@@ -29,25 +29,74 @@ FAILOVER_ERRORS = (RequestTimeout, ConnectionError, SecurityError)
 
 
 class ResilientSession(MiddlewareSession):
-    """Sticky-failover composite over ordered middleware sessions."""
+    """Sticky-failover composite over ordered middleware sessions.
+
+    ``routes`` is either a static ordered list of sessions (the classic
+    primary -> standby -> direct chain) or a zero-argument callable
+    returning the *current* ordered candidate list — which is how a
+    fleet load balancer supplies ring-derived alternates that change as
+    members are ejected, re-admitted, autoscaled or canaried.  With a
+    static list the behaviour is bit-for-bit the pre-fleet one.
+
+    ``observer(session, ok, elapsed)``, when given, is called once per
+    route attempt with the per-attempt virtual latency — the balancer
+    uses it to feed per-member SLO windows.  ``sim`` is only required
+    for provider-backed sessions (a static list carries its own).
+    """
 
     middleware_name = "resilient"
 
-    def __init__(self, routes, timeout: Optional[float] = None):
-        if not routes:
-            raise ValueError("ResilientSession needs at least one route")
-        self.routes = list(routes)
-        self.sim = self.routes[0].sim
+    def __init__(self, routes, timeout: Optional[float] = None,
+                 observer=None, sim=None):
+        if callable(routes):
+            self._provider = routes
+            self.routes = None
+            if sim is None:
+                raise ValueError(
+                    "a provider-backed ResilientSession needs sim=")
+            self.sim = sim
+        else:
+            if not routes:
+                raise ValueError(
+                    "ResilientSession needs at least one route")
+            self._provider = None
+            self.routes = list(routes)
+            self.sim = sim if sim is not None else self.routes[0].sim
         # Default per-attempt deadline applied when the caller sets
         # none; without any deadline a dead route can only fail over
         # once its transport gives up.
         self.timeout = timeout
+        self.observer = observer
         self.stats = Counter()
         self._active = 0
+        # Provider mode tracks stickiness by session identity: the
+        # candidate list changes under churn, so a positional index
+        # would silently re-target a different member.
+        self._sticky = None
 
     @property
-    def active_route(self) -> MiddlewareSession:
+    def active_route(self) -> Optional[MiddlewareSession]:
+        if self._provider is not None:
+            return self._sticky
         return self.routes[self._active]
+
+    def _route_list(self) -> list:
+        if self._provider is not None:
+            routes = list(self._provider())
+            if not routes:
+                raise ConnectionError("no middleware route available")
+            return routes
+        return self.routes
+
+    def _start_index(self, routes: list) -> int:
+        if self._provider is None:
+            return self._active
+        sticky = self._sticky
+        if sticky is not None:
+            for index, session in enumerate(routes):
+                if session is sticky:
+                    return index
+        return 0
 
     def get(self, url: str, trace=None,
             timeout: Optional[float] = None) -> Event:
@@ -63,10 +112,25 @@ class ResilientSession(MiddlewareSession):
         deadline = timeout if timeout is not None else self.timeout
 
         def attempt_routes(env):
+            try:
+                routes = self._route_list()
+            except ConnectionError as exc:
+                self.stats.incr("exhausted")
+                result.fail(exc)
+                return
+            start = self._start_index(routes)
             last_exc = None
-            for step in range(len(self.routes)):
-                index = (self._active + step) % len(self.routes)
-                session = self.routes[index]
+            for step in range(len(routes)):
+                if self._provider is None:
+                    # Read _active fresh each attempt: a concurrent
+                    # in-flight call may have advanced it, and the
+                    # pre-fleet behaviour (which these stats tests pin
+                    # bit-for-bit) did exactly this.
+                    index = (self._active + step) % len(routes)
+                else:
+                    index = (start + step) % len(routes)
+                session = routes[index]
+                began = env.now
                 try:
                     if method == "get":
                         response = yield session.get(url, trace=trace,
@@ -77,13 +141,22 @@ class ResilientSession(MiddlewareSession):
                 except FAILOVER_ERRORS as exc:
                     last_exc = exc
                     self.stats.incr("route_failures")
-                    if step < len(self.routes) - 1:
+                    if self.observer is not None:
+                        self.observer(session, False, env.now - began)
+                    if step < len(routes) - 1:
                         self.stats.incr("failovers")
                     continue
-                if index != self._active:
+                if self._provider is not None:
+                    if session is not self._sticky:
+                        if self._sticky is not None:
+                            self.stats.incr("route_switches")
+                        self._sticky = session
+                elif index != self._active:
                     self._active = index
                     self.stats.incr("route_switches")
                 self.stats.incr("requests")
+                if self.observer is not None:
+                    self.observer(session, True, env.now - began)
                 result.succeed(response)
                 return
             self.stats.incr("exhausted")
@@ -94,6 +167,12 @@ class ResilientSession(MiddlewareSession):
         return result
 
     def close(self) -> None:
+        if self._provider is not None:
+            # Balancer-backed sessions do not own their routes: member
+            # sessions are shared infrastructure whose lifecycle the
+            # fleet manages (and calling the provider here could
+            # lazily create sessions just to close them).
+            return
         for session in self.routes:
             session.close()
 
@@ -155,6 +234,43 @@ class ResilienceConfig:
     # RAN backpressure: shed new work at the gateway while this many
     # transmitters are queued for the cell's shared airtime (0 = off).
     air_pressure_threshold: int = 0
+    # --- Gateway fleet (DESIGN.md §14) ---------------------------------
+    # 0 keeps the classic single-gateway topology; >= 1 builds a
+    # GatewayFleet behind a consistent-hash LoadBalancer.  fleet_size=1
+    # is the byte-identical degenerate case (no monitors spawn).
+    fleet_size: int = 0
+    # Member i listens at primary_port + i * stride (stride leaves room
+    # for the WTLS companion port and the legacy standby offset).
+    fleet_port_stride: int = 20
+    fleet_virtual_nodes: int = 64
+    # Active health checks (per-member probe process, CircuitBreaker-
+    # style ejection with half-open re-admission).
+    health_interval: float = 2.0
+    health_timeout: float = 1.5
+    unhealthy_threshold: int = 3
+    recovery_threshold: int = 2
+    # Queue-depth autoscaling over the live batcher-depth gauges.
+    autoscale: bool = False
+    autoscale_high_watermark: float = 8.0
+    autoscale_low_watermark: float = 1.0
+    autoscale_min_members: int = 1
+    autoscale_max_members: int = 8
+    autoscale_cooldown: float = 30.0
+    autoscale_interval: float = 5.0
+    # Canary rollout: deploy a v2 variant to ceil(fraction * N) ring
+    # slots at deploy_at, compare SLO windows, auto-promote/rollback.
+    canary_fraction: float = 0.0
+    canary_deploy_at: float = 0.0
+    # Deliberate per-request service-time penalty on the v2 variant —
+    # the chaos canary-regression scenario uses it to plant an SLO
+    # regression the controller must catch.
+    canary_handicap: float = 0.0
+    canary_window: float = 20.0
+    canary_min_samples: int = 5
+    canary_p95_ratio: float = 1.5
+    canary_success_delta: float = 0.1
+    canary_violations: int = 2
+    canary_healthy_windows: int = 3
 
     def batch_config(self):
         """BatchConfig for one gateway, or None when batching is off."""

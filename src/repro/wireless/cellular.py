@@ -329,19 +329,26 @@ class CellularNetwork:
                    key=lambda bs: bs.position.distance_to(position))
 
     def attach(self, subscriber: Node, mobile: Mobile,
-               qos_class: str = "background") -> CellularAttachment:
+               qos_class: str = "background",
+               cell: Optional[BaseStation] = None) -> CellularAttachment:
         """Open a data session for ``subscriber`` at its current position.
 
         ``qos_class`` (conversational/streaming/interactive/background)
         only influences scheduling on 3G cells; earlier generations
         have no QoS machinery, exactly as the paper says.
+
+        ``cell`` pins the session to a specific base station, skipping
+        coverage selection — the gateway-fleet builder shards stations
+        over cells by consistent hash, the way an operator plans which
+        BSC fronts which gateway, rather than by radio proximity.
         """
         if not self.standard.supports_data:
             raise DataNotSupportedError(
                 f"{self.standard.name} is a {self.standard.generation} "
                 "voice system; it carries no mobile-commerce data"
             )
-        station = self.best_station(mobile.position)
+        station = cell if cell is not None \
+            else self.best_station(mobile.position)
         if station is None:
             raise ConnectionError(
                 f"{subscriber.name} is outside every cell's coverage"

@@ -17,7 +17,12 @@ def test_every_named_scenario_builds_a_valid_plan():
         plan = scenario_plan(name, SeedBank(5).stream("chaos-plan"),
                              horizon=240.0, intensity=0.5)
         plan.validate()
-        assert len(plan) > 0, name
+        if name == "canary-regression":
+            # The regression is a planted-slow v2 canary deployed by the
+            # CanaryController, not a FaultSpec — the plan is empty.
+            assert len(plan) == 0, name
+        else:
+            assert len(plan) > 0, name
 
 
 def test_gateway_outage_policies_beat_baseline():
