@@ -16,6 +16,7 @@ from .base import (
 )
 from .determinism import ModuleRandomRule, WallClockRule
 from .faults import FaultScheduleRule
+from .forksafety import ForkUnsafeGlobalRule
 from .hygiene import (
     BareExceptRule,
     BroadExceptRule,
@@ -36,6 +37,7 @@ __all__ = [
     "ModuleRandomRule",
     "WallClockRule",
     "FaultScheduleRule",
+    "ForkUnsafeGlobalRule",
     "BareExceptRule",
     "BroadExceptRule",
     "ExportDriftRule",

@@ -1,0 +1,155 @@
+"""Fork-safety rule: module-level mutable state in shard-imported code.
+
+The parallel engine hosts shard simulations in forked (or spawned)
+worker processes.  Any module-level mutable container that code mutates
+at runtime silently diverges across those processes: each worker mutates
+its own copy, the coordinator never sees the writes, and a later
+sequential run sees yet another history.  Per-instance state is safe
+(every instance lives in exactly one shard's object graph — the
+partitioner's ``replicated`` class); module globals are not, because the
+*module* is what fork duplicates.
+
+The rule flags a module-level name bound to a mutable container
+(literal or known factory call) that any function in the module then
+mutates — method mutators (``append``/``update``/...), subscript
+assignment, or augmented assignment.  Registries filled once at import
+time by decorators are conventionally suppressed with
+``# repro: noqa[fork-unsafe-global]`` and a justification, as are
+process-wide caches that are deliberate (and keyed so divergence is
+harmless).  Tooling under ``repro.analysis`` is exempt: it never runs
+inside a shard worker.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..findings import Finding, SEVERITY_WARNING
+from .base import ModuleInfo, Rule, register_rule
+from .hygiene import _mutable_default
+
+__all__ = ["ForkUnsafeGlobalRule"]
+
+MUTATOR_METHODS = {
+    "add", "append", "appendleft", "clear", "discard", "extend",
+    "extendleft", "insert", "pop", "popitem", "remove", "setdefault",
+    "update",
+}
+
+# Packages never imported by a shard worker's scenario build.
+EXEMPT_PACKAGES = ("repro.analysis",)
+
+
+def _module_level_mutables(tree: ast.Module) -> dict:
+    """Module-scope ``NAME = <mutable>`` bindings -> assignment line."""
+    bindings: dict = {}
+    for node in tree.body:
+        if isinstance(node, ast.Assign):
+            value = node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            value = node.value
+        else:
+            continue
+        if _mutable_default(value) is None:
+            continue
+        targets = (node.targets if isinstance(node, ast.Assign)
+                   else [node.target])
+        for target in targets:
+            if isinstance(target, ast.Name):
+                bindings.setdefault(target.id, node.lineno)
+    return bindings
+
+
+def _local_bindings(func: ast.AST) -> set:
+    """Names the function binds locally (params, assignments) without
+    declaring them ``global`` — those shadow the module global."""
+    declared_global: set = set()
+    local: set = set()
+    args = func.args
+    for arg in (args.posonlyargs + args.args + args.kwonlyargs
+                + ([args.vararg] if args.vararg else [])
+                + ([args.kwarg] if args.kwarg else [])):
+        local.add(arg.arg)
+    for node in ast.walk(func):
+        if isinstance(node, ast.Global):
+            declared_global.update(node.names)
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    local.add(target.id)
+        elif isinstance(node, (ast.For, ast.comprehension)):
+            target = node.target
+            for sub in ast.walk(target):
+                if isinstance(sub, ast.Name):
+                    local.add(sub.id)
+    return local - declared_global
+
+
+def _mutations(func: ast.AST, names: set) -> Iterator[tuple]:
+    """(name, lineno, how) for each mutation of a tracked global."""
+    shadowed = _local_bindings(func)
+    visible = names - shadowed
+    if not visible:
+        return
+    for node in ast.walk(func):
+        if isinstance(node, ast.Call) \
+                and isinstance(node.func, ast.Attribute) \
+                and isinstance(node.func.value, ast.Name) \
+                and node.func.value.id in visible \
+                and node.func.attr in MUTATOR_METHODS:
+            yield (node.func.value.id, node.lineno,
+                   f".{node.func.attr}()")
+        elif isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = (node.targets if isinstance(node, ast.Assign)
+                       else [node.target])
+            for target in targets:
+                if isinstance(target, ast.Subscript) \
+                        and isinstance(target.value, ast.Name) \
+                        and target.value.id in visible:
+                    yield (target.value.id, node.lineno, "[...] =")
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                if isinstance(target, ast.Subscript) \
+                        and isinstance(target.value, ast.Name) \
+                        and target.value.id in visible:
+                    yield (target.value.id, node.lineno, "del [...]")
+
+
+@register_rule
+class ForkUnsafeGlobalRule(Rule):
+    """Module-level mutable state mutated at runtime diverges silently
+    across forked shard workers; hang it off an instance instead."""
+
+    rule_id = "fork-unsafe-global"
+    severity = SEVERITY_WARNING
+    description = "module-level mutable state mutated at runtime " \
+                  "(fork-unsafe under multiprocessing)"
+
+    def check_module(self, info: ModuleInfo) -> Iterator[Finding]:
+        if not info.in_package("repro"):
+            return
+        if any(info.in_package(package) for package in EXEMPT_PACKAGES):
+            return
+        mutables = _module_level_mutables(info.tree)
+        if not mutables:
+            return
+        names = set(mutables)
+        reported: set = set()
+        for node in ast.walk(info.tree):
+            if not isinstance(node, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef)):
+                continue
+            for name, lineno, how in _mutations(node, names):
+                if name in reported:
+                    continue
+                reported.add(name)
+                yield self.finding(
+                    info, mutables[name],
+                    f"module-level mutable {name!r} is mutated at "
+                    f"runtime (line {lineno}: {name}{how}); each forked "
+                    "shard worker mutates its own copy, so this state "
+                    "silently diverges across processes — move it onto "
+                    "an instance, or suppress with a justification if "
+                    "the divergence is deliberate",
+                )

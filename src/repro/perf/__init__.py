@@ -21,18 +21,28 @@ from .baseline import (
     baseline_for,
     baselines_for,
 )
-from .determinism import determinism_check, fleet_check, scheduler_check
+from .determinism import (
+    determinism_check,
+    fleet_check,
+    parallel_check,
+    scheduler_check,
+)
 from .loadgen import (
+    bench_deterministic,
     bench_json,
     bench_resilience,
+    build_bench_scenario,
     check_capacity_curve,
     run_bench,
     sweep_bench,
 )
+from .parallel import run_parallel_bench, run_parallel_chaos
 from .report import full_bench, report_to_json
 
 __all__ = ["run_bench", "sweep_bench", "bench_json", "bench_resilience",
+           "bench_deterministic", "build_bench_scenario",
            "check_capacity_curve", "determinism_check", "fleet_check",
-           "scheduler_check", "full_bench", "report_to_json",
+           "parallel_check", "scheduler_check", "run_parallel_bench",
+           "run_parallel_chaos", "full_bench", "report_to_json",
            "PRE_OPTIMIZATION_BASELINE", "PRE_CALENDAR_BASELINE",
            "BASELINES", "baseline_for", "baselines_for"]

@@ -1,0 +1,37 @@
+"""Conservative parallel DES: shard partitioning, execution, merge.
+
+The package splits a simulation scenario into shards cut at the wired
+network boundary, runs each shard's :class:`~repro.sim.kernel.Simulator`
+in its own OS process under window (null-message) synchronisation, and
+deterministically merges the results so a parallel run is byte-identical
+to the sequential one.  See DESIGN.md §15.
+
+* :mod:`.partition` — the cut planner: consumes the ``repro races
+  --json`` shared-state matrix and proves every cross-process-write key
+  is shard-local, a commutative merge point, or illegal (no cut).
+* :mod:`.engine` — the conservative coordinator: multiprocess shard
+  execution over pipes, plus the single-process lockstep debug mode.
+* :mod:`.merge` — deterministic merge of window deltas and final shard
+  payloads in global ``(time, priority, seq, shard)`` order.
+"""
+
+from .engine import ParallelExecutionError, run_partitioned
+from .merge import (accumulate_deltas, canonical_state_hash, merge_samples,
+                    merge_window_log)
+from .partition import (CutPlan, PartitionError, ShardSpec, classify_matrix,
+                        plan_partition, suggest_cut)
+
+__all__ = [
+    "CutPlan",
+    "ParallelExecutionError",
+    "PartitionError",
+    "ShardSpec",
+    "accumulate_deltas",
+    "canonical_state_hash",
+    "classify_matrix",
+    "merge_samples",
+    "merge_window_log",
+    "plan_partition",
+    "run_partitioned",
+    "suggest_cut",
+]

@@ -1,0 +1,104 @@
+"""Deterministic merge of shard outputs.
+
+Everything the shards exchange or return is merged in the global
+``(time, priority, seq, shard)`` order — the same total order the
+sequential kernel dispatches in, extended with the shard id as the
+final tiebreak (shard ids are disjoint, so the extension never reorders
+events the sequential run ordered).  Merging is pure data-plumbing over
+plain dicts/lists; nothing here consults the clock, the host, or any
+randomness, so identical shard payloads merge to identical bytes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+__all__ = ["accumulate_deltas", "canonical_state_hash",
+           "conservation_check", "merge_samples", "merge_window_log"]
+
+
+def merge_window_log(window_log: list) -> list:
+    """Flatten per-window shard reports into one ordered delta log.
+
+    Each delta is ``[time, priority, seq, key, value]``; the merged log
+    is sorted by ``(time, priority, seq, shard, key)``.  This is the
+    boundary event stream a cut link would carry, in the order the
+    sequential run would have processed it.
+    """
+    entries = []
+    for window in window_log:
+        for report in window["reports"]:
+            shard = report["shard"]
+            for delta in report.get("deltas", []):
+                time_, priority, seq, key, value = delta
+                entries.append((time_, priority, seq, shard, key, value))
+    entries.sort(key=lambda entry: entry[:5])
+    return [{"time": entry[0], "priority": entry[1], "seq": entry[2],
+             "shard": entry[3], "key": entry[4], "value": entry[5]}
+            for entry in entries]
+
+
+def accumulate_deltas(merged_log: list) -> dict:
+    """Fold the ordered delta log into per-key totals.
+
+    Merge-point updates commute, so the fold over the ordered log
+    equals the fold in any order — but folding the *ordered* log is
+    what a sequential observer at the cut would have computed, which is
+    the equivalence :func:`conservation_check` pins against the final
+    shard states.
+    """
+    totals: dict = {}
+    for entry in merged_log:
+        totals[entry["key"]] = totals.get(entry["key"], 0) + entry["value"]
+    return totals
+
+
+def conservation_check(merged_log: list, final_totals: dict,
+                       tolerance: float = 1e-9) -> dict:
+    """Every unit that crossed a window boundary is accounted for.
+
+    ``final_totals`` holds each merge-point key's value summed over the
+    final shard states; the accumulated window deltas must match.  A
+    mismatch means a window report dropped or double-counted a delta —
+    the merge protocol's only silent failure mode — so callers raise on
+    ``ok=False``.
+    """
+    accumulated = accumulate_deltas(merged_log)
+    mismatches = {}
+    for key in sorted(set(accumulated) | set(final_totals)):
+        got = accumulated.get(key, 0)
+        expected = final_totals.get(key, 0)
+        if abs(got - expected) > tolerance:
+            mismatches[key] = {"windows": got, "final": expected}
+    return {"ok": not mismatches, "mismatches": mismatches}
+
+
+def merge_samples(sample_lists: list) -> list:
+    """Globally sorted union of per-shard sample lists.
+
+    Sorting the union reproduces what the sequential run's single
+    ``sorted(engine.latencies())`` would contain: percentile extraction
+    downstream is order-independent given the sort.
+    """
+    merged = []
+    for samples in sample_lists:
+        merged.extend(samples)
+    merged.sort()
+    return merged
+
+
+def canonical_state_hash(payloads: list) -> str:
+    """SHA-256 over the canonical JSON of per-shard deterministic state.
+
+    The hash covers the *pre-merge* shard payloads (deterministic
+    sections only, in shard order), so two runs agree iff every shard's
+    virtual run agreed — a sharper probe than comparing merged output,
+    which could mask compensating shard-level differences.
+    """
+    state = [{"shard": payload["shard"],
+              "deterministic": payload["deterministic"]}
+             for payload in sorted(payloads,
+                                   key=lambda item: item["shard"])]
+    blob = json.dumps(state, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()

@@ -312,18 +312,21 @@ def test_accounting_reports_offered_vs_admitted_vs_succeeded():
         det["succeeded"] / det["offered"])
 
 
-def test_deprecated_success_rate_hides_never_finished_work():
-    """The accounting bug this PR fixes: success_rate divides by
-    *completed*, so a gateway that strands most of the offered load can
-    still report near-perfect success.  success_vs_offered cannot."""
+def test_deprecated_success_rate_is_gone_from_bench_output():
+    """success_rate divided by *completed*, so a gateway that strands
+    most of the offered load could still report near-perfect success.
+    The field is now removed outright from the bench deterministic
+    section; success_vs_offered is the honest replacement and must
+    still expose the stranded work."""
     throttled = dataclasses.replace(
         bench_resilience(), batch_window=2.0, batch_max=1,
         admission_watermark=0, air_pressure_threshold=0)
     report = run_bench(users=5, seed=11, transactions_per_user=4,
                        horizon=40.0, trace=False, resilience=throttled)
     det = report["deterministic"]
+    assert "success_rate" not in det
     assert det["completed"] < det["offered"]
-    assert det["success_vs_offered"] < det["success_rate"]
+    assert det["success_vs_offered"] < det["succeeded"] / det["completed"]
 
 
 def test_saturation_serves_admitted_work_and_sheds_the_excess():
